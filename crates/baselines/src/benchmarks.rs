@@ -1,0 +1,143 @@
+//! Market-benchmark strategies: UBAH, Best-in-hindsight, and uniform CRP.
+
+use crate::simplex::uniform;
+use ppn_market::{DecisionContext, Policy};
+
+/// Uniform Buy-And-Hold: buy the uniform portfolio once and never rebalance.
+/// After the first period the action simply tracks the drifted weights, so
+/// the turnover stays ~0 (matching the 0.001 TO in the paper's Table Sup.1).
+#[derive(Debug, Default)]
+pub struct Ubah {
+    started: bool,
+}
+
+impl Policy for Ubah {
+    fn name(&self) -> String {
+        "UBAH".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        if !self.started {
+            self.started = true;
+            uniform(ctx.dataset.assets() + 1)
+        } else {
+            ctx.drifted.to_vec()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.started = false;
+    }
+}
+
+/// Best single asset in hindsight over a fixed evaluation range. This is the
+/// paper's "Best" oracle: it needs the future, so the winning asset index is
+/// computed at construction from the dataset itself.
+#[derive(Debug)]
+pub struct BestStock {
+    best: usize,
+}
+
+impl BestStock {
+    /// Finds the asset (cash included) with the largest total return over
+    /// `range` of `dataset`'s relatives.
+    pub fn new(dataset: &ppn_market::Dataset, range: std::ops::Range<usize>) -> Self {
+        let m1 = dataset.assets() + 1;
+        let mut totals = vec![0.0f64; m1];
+        for t in range {
+            for (i, tot) in totals.iter_mut().enumerate() {
+                *tot += dataset.relative(t)[i].ln();
+            }
+        }
+        let best = totals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        BestStock { best }
+    }
+
+    /// The selected asset index.
+    pub fn asset(&self) -> usize {
+        self.best
+    }
+}
+
+impl Policy for BestStock {
+    fn name(&self) -> String {
+        "Best".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let mut a = vec![0.0; ctx.dataset.assets() + 1];
+        a[self.best] = 1.0;
+        a
+    }
+}
+
+/// Uniform Constant Rebalanced Portfolio: rebalance to uniform every period.
+#[derive(Debug, Default)]
+pub struct Crp;
+
+impl Policy for Crp {
+    fn name(&self) -> String {
+        "CRP".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        uniform(ctx.dataset.assets() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_market::{run_backtest, Dataset, Preset};
+
+    #[test]
+    fn ubah_has_negligible_turnover() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let r = run_backtest(&ds, &mut Ubah::default(), 0.0025, 100..400);
+        assert!(r.metrics.turnover < 0.01, "TO {}", r.metrics.turnover);
+    }
+
+    #[test]
+    fn best_beats_ubah_in_hindsight() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let range = 100..400;
+        let mut best = BestStock::new(&ds, range.clone());
+        let rb = run_backtest(&ds, &mut best, 0.0, range.clone());
+        let ru = run_backtest(&ds, &mut Ubah::default(), 0.0, range);
+        assert!(
+            rb.metrics.apv >= ru.metrics.apv * 0.999,
+            "best {} < ubah {}",
+            rb.metrics.apv,
+            ru.metrics.apv
+        );
+    }
+
+    #[test]
+    fn best_apv_matches_asset_relatives() {
+        let ds = Dataset::load(Preset::CryptoB);
+        let range = 200..500;
+        let mut best = BestStock::new(&ds, range.clone());
+        let idx = best.asset();
+        let r = run_backtest(&ds, &mut best, 0.0, range.clone());
+        let direct: f64 = range.map(|t| ds.relative(t)[idx]).product();
+        // First-period entry is cost-free at ψ=0 so APVs agree exactly.
+        assert!((r.metrics.apv - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn crp_actions_always_uniform() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let r = run_backtest(&ds, &mut Crp, 0.0025, 100..150);
+        let n = ds.assets() + 1;
+        for rec in &r.records {
+            for &w in &rec.action {
+                assert!((w - 1.0 / n as f64).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Follow-the-winner baselines: Cover's Universal Portfolios and the
+//! Exponential Gradient algorithm.
+
+use crate::simplex::{normalize, uniform};
+use ppn_market::{portfolio_return, DecisionContext, Policy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cover's Universal Portfolios (1991), approximated by Monte-Carlo
+/// integration over the simplex: sample CRP experts from a flat Dirichlet,
+/// track each expert's cumulative wealth incrementally, and play the
+/// wealth-weighted average portfolio.
+pub struct UniversalPortfolios {
+    samples: usize,
+    seed: u64,
+    experts: Vec<Vec<f64>>,
+    wealth: Vec<f64>,
+    seen: usize,
+}
+
+impl UniversalPortfolios {
+    /// `samples` CRP experts drawn with `seed`.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        UniversalPortfolios { samples, seed, experts: Vec::new(), wealth: Vec::new(), seen: 0 }
+    }
+
+    fn init(&mut self, n: usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.experts = (0..self.samples)
+            .map(|_| {
+                // Flat Dirichlet via normalised exponentials.
+                let e: Vec<f64> = (0..n).map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln()).collect();
+                normalize(&e)
+            })
+            .collect();
+        self.wealth = vec![1.0; self.samples];
+        self.seen = 0;
+    }
+}
+
+impl Policy for UniversalPortfolios {
+    fn name(&self) -> String {
+        "UP".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.experts.is_empty() || self.experts[0].len() != n {
+            self.init(n);
+        }
+        // Fold in any history periods not yet absorbed.
+        while self.seen < ctx.history.len() {
+            let x = &ctx.history[self.seen];
+            for (e, w) in self.experts.iter().zip(self.wealth.iter_mut()) {
+                *w *= portfolio_return(e, x);
+            }
+            self.seen += 1;
+        }
+        let total: f64 = self.wealth.iter().sum();
+        let mut b = vec![0.0; n];
+        for (e, &w) in self.experts.iter().zip(&self.wealth) {
+            for (bi, &ei) in b.iter_mut().zip(e) {
+                *bi += w * ei;
+            }
+        }
+        if total > 0.0 {
+            for bi in &mut b {
+                *bi /= total;
+            }
+            b
+        } else {
+            uniform(n)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.experts.clear();
+        self.wealth.clear();
+        self.seen = 0;
+    }
+}
+
+/// Exponential Gradient (Helmbold et al., 1998):
+/// `b_{t+1,i} ∝ b_{t,i} · exp(η · x_{t,i} / (b_tᵀ x_t))`.
+pub struct ExponentialGradient {
+    /// Learning rate η (0.05 is the literature default).
+    pub eta: f64,
+    b: Vec<f64>,
+    seen: usize,
+}
+
+impl ExponentialGradient {
+    /// EG with learning rate `eta`.
+    pub fn new(eta: f64) -> Self {
+        ExponentialGradient { eta, b: Vec::new(), seen: 0 }
+    }
+}
+
+impl Policy for ExponentialGradient {
+    fn name(&self) -> String {
+        "EG".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.b.len() != n {
+            self.b = uniform(n);
+            self.seen = ctx.history.len();
+        }
+        while self.seen < ctx.history.len() {
+            let x = &ctx.history[self.seen];
+            let r = portfolio_return(&self.b, x);
+            let mut nb: Vec<f64> =
+                self.b.iter().zip(x).map(|(&bi, &xi)| bi * (self.eta * xi / r).exp()).collect();
+            nb = normalize(&nb);
+            self.b = nb;
+            self.seen += 1;
+        }
+        self.b.clone()
+    }
+
+    fn reset(&mut self) {
+        self.b.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::is_simplex;
+    use ppn_market::{run_backtest, Dataset, Preset};
+
+    #[test]
+    fn up_actions_on_simplex() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut up = UniversalPortfolios::new(100, 3);
+        let r = run_backtest(&ds, &mut up, 0.0025, 100..200);
+        for rec in &r.records {
+            assert!(is_simplex(&rec.action, 1e-9));
+        }
+    }
+
+    #[test]
+    fn up_tracks_winning_expert() {
+        // On a strongly trending dataset, UP should tilt away from uniform
+        // toward the better assets over time.
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut up = UniversalPortfolios::new(200, 3);
+        let r = run_backtest(&ds, &mut up, 0.0, 100..1_500);
+        let first = &r.records[0].action;
+        let last = &r.records.last().unwrap().action;
+        let n = first.len() as f64;
+        let dev_first: f64 = first.iter().map(|x| (x - 1.0 / n).abs()).sum();
+        let dev_last: f64 = last.iter().map(|x| (x - 1.0 / n).abs()).sum();
+        assert!(dev_last > dev_first, "UP never moved: {dev_first} vs {dev_last}");
+    }
+
+    #[test]
+    fn eg_moves_toward_recent_winner() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut eg = ExponentialGradient::new(0.05);
+        let r = run_backtest(&ds, &mut eg, 0.0025, 100..400);
+        for rec in &r.records {
+            assert!(is_simplex(&rec.action, 1e-9));
+        }
+        // EG stays close to uniform (multiplicative updates are conservative)
+        // but not exactly uniform.
+        let last = &r.records.last().unwrap().action;
+        let n = last.len() as f64;
+        let dev: f64 = last.iter().map(|x| (x - 1.0 / n).abs()).sum();
+        assert!(dev > 1e-6 && dev < 1.0);
+    }
+
+    #[test]
+    fn eg_higher_eta_moves_more() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let dev = |eta: f64| {
+            let mut eg = ExponentialGradient::new(eta);
+            let r = run_backtest(&ds, &mut eg, 0.0, 100..400);
+            let last = &r.records.last().unwrap().action;
+            let n = last.len() as f64;
+            last.iter().map(|x| (x - 1.0 / n).abs()).sum::<f64>()
+        };
+        assert!(dev(0.2) > dev(0.01));
+    }
+}

@@ -1,0 +1,143 @@
+//! Tiny dense linear-algebra helpers for ONS and CWMR (n ≤ ~65).
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+/// `a` is row-major `n×n` and is consumed as scratch.
+///
+/// # Panics
+/// Panics on a numerically singular system.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n);
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..n {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        assert!(a[piv * n + col].abs() > 1e-12, "singular matrix in solve()");
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for r in (col + 1)..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut s = b[r];
+        for c in (r + 1)..n {
+            s -= a[r * n + c] * x[c];
+        }
+        x[r] = s / a[r * n + r];
+    }
+    x
+}
+
+/// `y = A x` for row-major `A`.
+pub fn matvec(a: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    debug_assert_eq!(a.len(), n * n);
+    (0..n).map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum()).collect()
+}
+
+/// Rank-1 update `A += s · v vᵀ` in place.
+pub fn rank1_update(a: &mut [f64], v: &[f64], s: f64) {
+    let n = v.len();
+    debug_assert_eq!(a.len(), n * n);
+    for r in 0..n {
+        for c in 0..n {
+            a[r * n + c] += s * v[r] * v[c];
+        }
+    }
+}
+
+/// Quadratic form `xᵀ A y`.
+pub fn quad_form(a: &[f64], x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let mut s = 0.0;
+    for r in 0..n {
+        let mut row = 0.0;
+        for c in 0..n {
+            row += a[r * n + c] * y[c];
+        }
+        s += x[r] * row;
+    }
+    s
+}
+
+/// Identity matrix scaled by `s`.
+pub fn scaled_identity(n: usize, s: f64) -> Vec<f64> {
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        a[i * n + i] = s;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // [[2,1],[1,3]] x = [5, 10] → x = (1, 3).
+        let x = solve(vec![2.0, 1.0, 1.0, 3.0], vec![5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_with_pivoting() {
+        // Leading zero forces a row swap.
+        let x = solve(vec![0.0, 1.0, 1.0, 0.0], vec![2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_and_quadform_agree() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![1.0, -1.0];
+        let ax = matvec(&a, &x);
+        assert_eq!(ax, vec![-1.0, -1.0]);
+        assert!((quad_form(&a, &x, &x) - (x[0] * ax[0] + x[1] * ax[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank1_symmetry() {
+        let mut a = scaled_identity(3, 1.0);
+        rank1_update(&mut a, &[1.0, 2.0, 3.0], 0.5);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((a[r * 3 + c] - a[c * 3 + r]).abs() < 1e-15);
+            }
+        }
+        assert!((a[4] - (1.0 + 0.5 * 4.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_inverts_rank1_updated_identity() {
+        let mut a = scaled_identity(4, 1.0);
+        rank1_update(&mut a, &[0.5, -1.0, 2.0, 0.1], 0.3);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = solve(a.clone(), b.clone());
+        let back = matvec(&a, &x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! First-order mean-reversion strategies: PAMR, OLMAR, RMR and WMAMR.
+//!
+//! All four share the passive-aggressive template: build a prediction (or
+//! loss signal) from recent relatives, take the closed-form PA step, and
+//! project back onto the simplex.
+
+use crate::simplex::{project_simplex, uniform};
+use ppn_market::{portfolio_return, DecisionContext, Policy};
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn sq_dev_norm(v: &[f64]) -> f64 {
+    let m = mean(v);
+    v.iter().map(|x| (x - m).powi(2)).sum()
+}
+
+/// Passive Aggressive Mean Reversion (Li et al., 2012), PAMR-0 variant:
+/// when the last period's return `bᵀx` exceeds `ε`, step *against* `x`.
+pub struct Pamr {
+    /// Reversion threshold ε (0.5 in the original paper).
+    pub epsilon: f64,
+    b: Vec<f64>,
+    seen: usize,
+}
+
+impl Pamr {
+    /// PAMR-0 with threshold `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        Pamr { epsilon, b: Vec::new(), seen: 0 }
+    }
+
+    fn update(&mut self, x: &[f64]) {
+        let loss = (portfolio_return(&self.b, x) - self.epsilon).max(0.0);
+        let denom = sq_dev_norm(x);
+        if loss > 0.0 && denom > 1e-12 {
+            let tau = loss / denom;
+            let xm = mean(x);
+            let raw: Vec<f64> =
+                self.b.iter().zip(x).map(|(&bi, &xi)| bi - tau * (xi - xm)).collect();
+            self.b = project_simplex(&raw);
+        }
+    }
+}
+
+impl Policy for Pamr {
+    fn name(&self) -> String {
+        "PAMR".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.b.len() != n {
+            self.b = uniform(n);
+            self.seen = ctx.history.len();
+        }
+        while self.seen < ctx.history.len() {
+            let x = ctx.history[self.seen].clone();
+            self.update(&x);
+            self.seen += 1;
+        }
+        self.b.clone()
+    }
+
+    fn reset(&mut self) {
+        self.b.clear();
+        self.seen = 0;
+    }
+}
+
+/// Builds the OLMAR moving-average reversion prediction from the last `w`
+/// relatives: `x̃_i = (1/w) Σ_{j=0..w−1} p_{t−j,i}/p_{t,i}`, computed as
+/// nested reciprocals of the relatives.
+pub fn olmar_prediction(history: &[Vec<f64>], w: usize) -> Vec<f64> {
+    let n = history.last().map_or(0, Vec::len);
+    let mut pred = vec![1.0; n]; // j = 0 term: p_t / p_t
+    let mut cum = vec![1.0; n];
+    let avail = history.len().min(w.saturating_sub(1));
+    for j in 0..avail {
+        let x = &history[history.len() - 1 - j];
+        for i in 0..n {
+            cum[i] /= x[i].max(1e-12);
+            pred[i] += cum[i];
+        }
+    }
+    let count = (avail + 1) as f64;
+    for p in &mut pred {
+        *p /= count;
+    }
+    pred
+}
+
+/// Shared passive-aggressive step *toward* a prediction `x̃`:
+/// `b ← Π( b + λ(x̃ − x̄̃·1) )`, `λ = max(0, (ε − bᵀx̃)/‖x̃ − x̄̃·1‖²)`.
+fn pa_step_toward(b: &[f64], pred: &[f64], epsilon: f64) -> Vec<f64> {
+    let denom = sq_dev_norm(pred);
+    let lam = if denom > 1e-12 {
+        ((epsilon - portfolio_return(b, pred)) / denom).max(0.0)
+    } else {
+        0.0
+    };
+    if lam == 0.0 {
+        return b.to_vec();
+    }
+    let pm = mean(pred);
+    let raw: Vec<f64> = b.iter().zip(pred).map(|(&bi, &pi)| bi + lam * (pi - pm)).collect();
+    project_simplex(&raw)
+}
+
+/// On-Line Moving Average Reversion (Li & Hoi, 2012), OLMAR-1.
+pub struct Olmar {
+    /// Reversion threshold ε (10 in the original paper).
+    pub epsilon: f64,
+    /// Moving-average window (5 in the original paper).
+    pub window: usize,
+    b: Vec<f64>,
+    seen: usize,
+}
+
+impl Olmar {
+    /// OLMAR-1 with threshold `epsilon` and MA window `window`.
+    pub fn new(epsilon: f64, window: usize) -> Self {
+        Olmar { epsilon, window, b: Vec::new(), seen: 0 }
+    }
+}
+
+impl Policy for Olmar {
+    fn name(&self) -> String {
+        "OLMAR".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.b.len() != n {
+            self.b = uniform(n);
+        }
+        self.seen = ctx.history.len();
+        if !ctx.history.is_empty() {
+            let pred = olmar_prediction(ctx.history, self.window);
+            self.b = pa_step_toward(&self.b, &pred, self.epsilon);
+        }
+        self.b.clone()
+    }
+
+    fn reset(&mut self) {
+        self.b.clear();
+        self.seen = 0;
+    }
+}
+
+/// Geometric (L1) median of a set of price vectors via Weiszfeld iterations.
+pub fn l1_median(points: &[Vec<f64>], iters: usize, tol: f64) -> Vec<f64> {
+    assert!(!points.is_empty());
+    let n = points[0].len();
+    // Start from the coordinate-wise mean.
+    let mut mu = vec![0.0; n];
+    for p in points {
+        for i in 0..n {
+            mu[i] += p[i];
+        }
+    }
+    for v in &mut mu {
+        *v /= points.len() as f64;
+    }
+    for _ in 0..iters {
+        let mut num = vec![0.0; n];
+        let mut den = 0.0;
+        for p in points {
+            let d: f64 = p.iter().zip(&mu).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+            if d < 1e-12 {
+                // Coincides with a data point: Weiszfeld is stuck; the point
+                // itself is a fine estimate for our purposes.
+                return p.clone();
+            }
+            for i in 0..n {
+                num[i] += p[i] / d;
+            }
+            den += 1.0 / d;
+        }
+        let next: Vec<f64> = num.iter().map(|v| v / den).collect();
+        let shift: f64 = next.iter().zip(&mu).map(|(a, b)| (a - b).abs()).sum();
+        mu = next;
+        if shift < tol {
+            break;
+        }
+    }
+    mu
+}
+
+/// Robust Median Reversion (Huang et al., 2013): OLMAR with the moving-
+/// average prediction replaced by the L1-median of the recent price window.
+pub struct Rmr {
+    /// Reversion threshold ε (5 in the original paper).
+    pub epsilon: f64,
+    /// Price window (5 in the original paper).
+    pub window: usize,
+    b: Vec<f64>,
+}
+
+impl Rmr {
+    /// RMR with threshold `epsilon` and window `window`.
+    pub fn new(epsilon: f64, window: usize) -> Self {
+        Rmr { epsilon, window, b: Vec::new() }
+    }
+
+    /// Median-based reversion prediction `x̃ = median(p_{t−w+1..t}) / p_t`,
+    /// with prices reconstructed from relatives normalised to `p_t = 1`.
+    pub fn prediction(history: &[Vec<f64>], w: usize) -> Vec<f64> {
+        let n = history.last().map_or(0, Vec::len);
+        // prices[j] = p_{t−j} / p_t, j = 0..w−1
+        let mut prices = vec![vec![1.0; n]];
+        let avail = history.len().min(w.saturating_sub(1));
+        for j in 0..avail {
+            let x = &history[history.len() - 1 - j];
+            let prev = prices.last().unwrap().clone();
+            prices.push(prev.iter().zip(x).map(|(&p, &xi)| p / xi.max(1e-12)).collect());
+        }
+        l1_median(&prices, 64, 1e-9)
+    }
+}
+
+impl Policy for Rmr {
+    fn name(&self) -> String {
+        "RMR".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.b.len() != n {
+            self.b = uniform(n);
+        }
+        if !ctx.history.is_empty() {
+            let pred = Rmr::prediction(ctx.history, self.window);
+            self.b = pa_step_toward(&self.b, &pred, self.epsilon);
+        }
+        self.b.clone()
+    }
+
+    fn reset(&mut self) {
+        self.b.clear();
+    }
+}
+
+/// Weighted Moving Average Mean Reversion (Gao & Zhang, 2013): PAMR driven
+/// by the equal-weighted moving average of the last `w` relatives instead of
+/// the single most recent one.
+pub struct Wmamr {
+    /// Reversion threshold ε (0.5 as in PAMR).
+    pub epsilon: f64,
+    /// Averaging window (5 in the original paper).
+    pub window: usize,
+    b: Vec<f64>,
+    seen: usize,
+}
+
+impl Wmamr {
+    /// WMAMR with threshold `epsilon` and window `window`.
+    pub fn new(epsilon: f64, window: usize) -> Self {
+        Wmamr { epsilon, window, b: Vec::new(), seen: 0 }
+    }
+
+    fn update(&mut self, history: &[Vec<f64>]) {
+        let n = self.b.len();
+        let w = self.window.min(history.len());
+        if w == 0 {
+            return;
+        }
+        let mut avg = vec![0.0; n];
+        for x in &history[history.len() - w..] {
+            for i in 0..n {
+                avg[i] += x[i];
+            }
+        }
+        for v in &mut avg {
+            *v /= w as f64;
+        }
+        let loss = (portfolio_return(&self.b, &avg) - self.epsilon).max(0.0);
+        let denom = sq_dev_norm(&avg);
+        if loss > 0.0 && denom > 1e-12 {
+            let tau = loss / denom;
+            let am = mean(&avg);
+            let raw: Vec<f64> =
+                self.b.iter().zip(&avg).map(|(&bi, &ai)| bi - tau * (ai - am)).collect();
+            self.b = project_simplex(&raw);
+        }
+    }
+}
+
+impl Policy for Wmamr {
+    fn name(&self) -> String {
+        "WMAMR".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.b.len() != n {
+            self.b = uniform(n);
+            self.seen = ctx.history.len();
+        }
+        while self.seen < ctx.history.len() {
+            self.update(&ctx.history[..self.seen + 1]);
+            self.seen += 1;
+        }
+        self.b.clone()
+    }
+
+    fn reset(&mut self) {
+        self.b.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::is_simplex;
+    use ppn_market::{run_backtest, Dataset, Preset};
+
+    #[test]
+    fn pamr_moves_against_winners() {
+        let mut p = Pamr::new(0.5);
+        p.b = vec![0.25; 4];
+        // Asset 3 rallied: PAMR should cut it.
+        p.update(&[1.0, 1.0, 1.0, 1.5]);
+        assert!(p.b[3] < 0.25, "{:?}", p.b);
+        assert!(is_simplex(&p.b, 1e-9));
+    }
+
+    #[test]
+    fn pamr_passive_when_return_below_epsilon() {
+        let mut p = Pamr::new(0.5);
+        p.b = vec![0.25; 4];
+        // bᵀx ≈ 0.26 < ε: no update (the "passive" branch).
+        p.update(&[0.3, 0.2, 0.3, 0.25]);
+        assert_eq!(p.b, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn olmar_prediction_flat_prices_is_one() {
+        let hist = vec![vec![1.0; 3]; 10];
+        let pred = olmar_prediction(&hist, 5);
+        for p in pred {
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn olmar_prediction_reverts_after_drop() {
+        // Asset 1 halved last period → its MA/price ratio is > 1 (expected
+        // to bounce back); asset 2 doubled → ratio < 1.
+        let mut hist = vec![vec![1.0, 1.0, 1.0]; 5];
+        hist.push(vec![1.0, 0.5, 2.0]);
+        let pred = olmar_prediction(&hist, 5);
+        assert!(pred[1] > 1.2, "{pred:?}");
+        assert!(pred[2] < 0.9, "{pred:?}");
+    }
+
+    #[test]
+    fn l1_median_of_symmetric_points() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![1.0, 1.0], vec![1.0, -1.0]];
+        let med = l1_median(&pts, 200, 1e-12);
+        assert!((med[0] - 1.0).abs() < 1e-6, "{med:?}");
+        assert!(med[1].abs() < 1e-6, "{med:?}");
+    }
+
+    #[test]
+    fn l1_median_robust_to_outlier() {
+        let mut pts = vec![vec![1.0, 1.0]; 9];
+        pts.push(vec![100.0, 100.0]);
+        let med = l1_median(&pts, 200, 1e-12);
+        // The mean would be ~10.9; the median stays at the cluster.
+        assert!(med[0] < 1.5, "{med:?}");
+    }
+
+    #[test]
+    fn all_mean_reversion_policies_stay_on_simplex() {
+        let ds = Dataset::load(Preset::CryptoB);
+        let mut policies: Vec<Box<dyn ppn_market::Policy>> = vec![
+            Box::new(Pamr::new(0.5)),
+            Box::new(Olmar::new(10.0, 5)),
+            Box::new(Rmr::new(5.0, 5)),
+            Box::new(Wmamr::new(0.5, 5)),
+        ];
+        for p in &mut policies {
+            let r = run_backtest(&ds, p.as_mut(), 0.0025, 100..250);
+            for rec in &r.records {
+                assert!(is_simplex(&rec.action, 1e-6), "{} off simplex", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn olmar_profits_on_mean_reverting_market() {
+        // Crypto-B is built strongly mean-reverting: OLMAR should beat CRP
+        // before costs, mirroring the paper's Table 3 ordering.
+        let ds = Dataset::load(Preset::CryptoB);
+        let range = ppn_market::test_range(&ds);
+        let r_olmar = run_backtest(&ds, &mut Olmar::new(10.0, 5), 0.0, range.clone());
+        let r_crp = run_backtest(&ds, &mut crate::benchmarks::Crp, 0.0, range);
+        assert!(
+            r_olmar.metrics.apv > r_crp.metrics.apv,
+            "OLMAR {} ≤ CRP {}",
+            r_olmar.metrics.apv,
+            r_crp.metrics.apv
+        );
+    }
+}

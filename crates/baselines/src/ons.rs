@@ -1,0 +1,156 @@
+//! Online Newton Step (Agarwal, Hazan, Kale & Schapire, ICML 2006).
+//!
+//! ONS performs a Newton-like ascent on the log-wealth objective:
+//!
+//! ```text
+//! g_t   = x_t / (b_tᵀ x_t)                    (gradient of log(bᵀx))
+//! A_t   = I + Σ_τ g_τ g_τᵀ
+//! b_{t+1} = Π^{A_t}_Δ ( b_t + (1/β) A_t⁻¹ g_t )
+//! ```
+//!
+//! followed by mixing with the uniform portfolio. The generalised projection
+//! `Π^{A}` (the `A`-norm projection onto the simplex) has no closed form; we
+//! solve it with projected gradient descent, which converges fast for the
+//! well-conditioned `A` matrices that arise here.
+
+use crate::linalg::{matvec, rank1_update, scaled_identity, solve};
+use crate::simplex::{project_simplex, uniform};
+use ppn_market::{portfolio_return, DecisionContext, Policy};
+
+/// ONS with parameters `(eta, beta, delta)` following the original paper's
+/// notation: `eta` mixes with uniform, `beta` scales the Newton step.
+pub struct Ons {
+    /// Uniform-mixture weight (paper default 0.01).
+    pub eta: f64,
+    /// Inverse step size (paper default 1).
+    pub beta: f64,
+    b: Vec<f64>,
+    a: Vec<f64>,     // A_t, row-major
+    p: Vec<f64>,     // un-mixed iterate
+    seen: usize,
+}
+
+impl Ons {
+    /// ONS with mixture `eta` and step scale `beta`.
+    pub fn new(eta: f64, beta: f64) -> Self {
+        Ons { eta, beta, b: Vec::new(), a: Vec::new(), p: Vec::new(), seen: 0 }
+    }
+
+    /// `A`-norm projection of `q` onto the simplex by projected gradient
+    /// descent: minimise `(p−q)ᵀA(p−q)`.
+    fn project_a(a: &[f64], q: &[f64], iters: usize) -> Vec<f64> {
+        let n = q.len();
+        // Step size from a cheap upper bound on λ_max(A): row-sum norm.
+        let lmax = (0..n)
+            .map(|r| (0..n).map(|c| a[r * n + c].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let step = 1.0 / lmax;
+        let mut p = project_simplex(q);
+        for _ in 0..iters {
+            // ∇ = 2A(p − q)
+            let diff: Vec<f64> = p.iter().zip(q).map(|(a, b)| a - b).collect();
+            let grad = matvec(a, &diff);
+            let moved: Vec<f64> = p.iter().zip(&grad).map(|(pi, gi)| pi - step * gi).collect();
+            let next = project_simplex(&moved);
+            let shift: f64 = next.iter().zip(&p).map(|(x, y)| (x - y).abs()).sum();
+            p = next;
+            if shift < 1e-10 {
+                break;
+            }
+        }
+        p
+    }
+
+    fn update(&mut self, x: &[f64]) {
+        let n = x.len();
+        let r = portfolio_return(&self.p, x).max(1e-12);
+        let g: Vec<f64> = x.iter().map(|&xi| xi / r).collect();
+        rank1_update(&mut self.a, &g, 1.0);
+        // Newton direction A⁻¹ g.
+        let dir = solve(self.a.clone(), g);
+        let target: Vec<f64> =
+            self.p.iter().zip(&dir).map(|(&pi, &di)| pi + di / self.beta).collect();
+        self.p = Self::project_a(&self.a, &target, 100);
+        let u = uniform(n);
+        self.b = self
+            .p
+            .iter()
+            .zip(&u)
+            .map(|(&pi, &ui)| (1.0 - self.eta) * pi + self.eta * ui)
+            .collect();
+    }
+}
+
+impl Policy for Ons {
+    fn name(&self) -> String {
+        "ONS".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let n = ctx.dataset.assets() + 1;
+        if self.b.len() != n {
+            self.b = uniform(n);
+            self.p = uniform(n);
+            self.a = scaled_identity(n, 1.0);
+            self.seen = ctx.history.len();
+        }
+        while self.seen < ctx.history.len() {
+            let x = ctx.history[self.seen].clone();
+            self.update(&x);
+            self.seen += 1;
+        }
+        self.b.clone()
+    }
+
+    fn reset(&mut self) {
+        self.b.clear();
+        self.a.clear();
+        self.p.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::is_simplex;
+    use ppn_market::{run_backtest, Dataset, Preset};
+
+    #[test]
+    fn a_projection_matches_euclidean_for_identity() {
+        let a = scaled_identity(3, 1.0);
+        let q = vec![1.4, -0.3, 0.1];
+        let pa = Ons::project_a(&a, &q, 300);
+        let pe = project_simplex(&q);
+        for (x, y) in pa.iter().zip(&pe) {
+            assert!((x - y).abs() < 1e-6, "{pa:?} vs {pe:?}");
+        }
+    }
+
+    #[test]
+    fn a_projection_respects_metric() {
+        // Anisotropic A: deviation along the heavy axis is penalised more,
+        // so the projection should deviate along the light axis instead.
+        let a = vec![100.0, 0.0, 0.0, 1.0];
+        let q = vec![0.8, 0.8]; // off-simplex, must lose 0.6 total
+        let p = Ons::project_a(&a, &q, 2000);
+        assert!(is_simplex(&p, 1e-6));
+        // Cheaper to cut the second coordinate (A₂₂ = 1).
+        assert!(p[0] > p[1], "{p:?}");
+    }
+
+    #[test]
+    fn ons_tilts_toward_growth_assets() {
+        let mut ons = Ons::new(0.01, 1.0);
+        let ds = Dataset::load(Preset::CryptoA);
+        let r = run_backtest(&ds, &mut ons, 0.0025, 100..300);
+        for rec in &r.records {
+            assert!(is_simplex(&rec.action, 1e-6));
+        }
+        let last = &r.records.last().unwrap().action;
+        let n = last.len() as f64;
+        let dev: f64 = last.iter().map(|x| (x - 1.0 / n).abs()).sum();
+        assert!(dev > 1e-4, "ONS never moved off uniform");
+    }
+}

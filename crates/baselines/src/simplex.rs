@@ -1,0 +1,107 @@
+//! Simplex utilities shared by the online-learning baselines.
+
+/// Euclidean projection onto the probability simplex (Duchi et al., 2008).
+///
+/// Returns the unique `p` minimising `‖p − v‖₂` with `p ≥ 0, Σp = 1`.
+pub fn project_simplex(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    assert!(n > 0, "projection of empty vector");
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - 1.0) / (i + 1) as f64;
+        if ui - t > 0.0 {
+            rho = i + 1;
+            theta = t;
+        }
+    }
+    let mut p: Vec<f64> = v.iter().map(|&x| (x - theta).max(0.0)).collect();
+    // With exact arithmetic rho ≥ 1 and Σp = 1, but for inputs of enormous
+    // magnitude `css − 1.0` loses the subtraction entirely and theta
+    // degenerates. Renormalise whenever the result drifted off the simplex.
+    let s: f64 = p.iter().sum();
+    if rho == 0 || !s.is_finite() || (s - 1.0).abs() > 1e-9 {
+        if rho == 0 || !s.is_finite() || s <= 0.0 {
+            // Put all mass on the largest coordinate(s): the correct limit
+            // for inputs whose spread dwarfs the unit budget.
+            let mx = u[0];
+            let ties = v.iter().filter(|&&x| x == mx).count().max(1);
+            return v.iter().map(|&x| if x == mx { 1.0 / ties as f64 } else { 0.0 }).collect();
+        }
+        for x in &mut p {
+            *x /= s;
+        }
+    }
+    p
+}
+
+/// Normalises a non-negative vector to sum 1; falls back to uniform when the
+/// sum vanishes.
+pub fn normalize(v: &[f64]) -> Vec<f64> {
+    let s: f64 = v.iter().sum();
+    if s <= 0.0 || !s.is_finite() {
+        return uniform(v.len());
+    }
+    v.iter().map(|&x| x / s).collect()
+}
+
+/// The uniform portfolio over `n` assets.
+pub fn uniform(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+
+/// True when `v` lies on the simplex within `tol`.
+pub fn is_simplex(v: &[f64], tol: f64) -> bool {
+    let s: f64 = v.iter().sum();
+    (s - 1.0).abs() <= tol && v.iter().all(|&x| x >= -tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_of_simplex_point_is_identity() {
+        let p = vec![0.2, 0.3, 0.5];
+        let q = project_simplex(&p);
+        for (a, b) in p.iter().zip(&q) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_clips_negatives() {
+        let q = project_simplex(&[1.5, -0.5, 0.0]);
+        assert!(is_simplex(&q, 1e-12));
+        assert_eq!(q[1], 0.0);
+        assert!(q[0] > q[2]);
+    }
+
+    #[test]
+    fn projection_known_value() {
+        // v = (0.5, 0.5, 1.5): theta = 0.5, p = (0, 0, 1).
+        let q = project_simplex(&[0.5, 0.5, 1.5]);
+        assert!((q[2] - 1.0).abs() < 1e-12);
+        assert!(q[0].abs() < 1e-12 && q[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let q1 = project_simplex(&[3.0, -1.0, 0.2, 0.9]);
+        let q2 = project_simplex(&q1);
+        for (a, b) in q1.iter().zip(&q2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_falls_back_to_uniform() {
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.5, 0.5]);
+        let v = normalize(&[2.0, 6.0]);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+    }
+}

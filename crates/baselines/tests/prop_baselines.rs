@@ -1,0 +1,80 @@
+//! Property tests: every baseline must emit simplex actions on arbitrary
+//! (valid) relative histories, and the simplex projection must satisfy its
+//! optimality characterisation.
+
+use ppn_baselines::simplex::{is_simplex, project_simplex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn projection_is_on_simplex(v in prop::collection::vec(-5.0..5.0f64, 1..20)) {
+        let p = project_simplex(&v);
+        prop_assert!(is_simplex(&p, 1e-9), "{p:?}");
+    }
+
+    #[test]
+    fn projection_is_closest_point(
+        pair in (2usize..8).prop_flat_map(|n| (
+            prop::collection::vec(-3.0..3.0f64, n),
+            prop::collection::vec(0.0..1.0f64, n),
+        )),
+    ) {
+        // The projection must be at least as close as any other simplex point.
+        let (v, probe) = pair;
+        let p = project_simplex(&v);
+        let s: f64 = probe.iter().sum();
+        prop_assume!(s > 0.0);
+        let q: Vec<f64> = probe.iter().map(|x| x / s).collect();
+        let d = |a: &[f64]| -> f64 {
+            a.iter().zip(&v).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        prop_assert!(d(&p) <= d(&q) + 1e-9, "projection {} vs probe {}", d(&p), d(&q));
+    }
+
+    #[test]
+    fn projection_translation_invariance(
+        v in prop::collection::vec(-3.0..3.0f64, 2..8),
+        c in -2.0..2.0f64,
+    ) {
+        // Adding a constant to every coordinate does not change the result.
+        let shifted: Vec<f64> = v.iter().map(|x| x + c).collect();
+        let p1 = project_simplex(&v);
+        let p2 = project_simplex(&shifted);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+/// Backtest-level property: run the cheap baselines over random sub-ranges
+/// and check all actions are valid portfolios.
+#[test]
+fn suite_actions_always_valid() {
+    use ppn_baselines::*;
+    use ppn_market::{run_backtest, Dataset, Policy, Preset};
+    let ds = Dataset::load(Preset::CryptoA);
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(Ubah::default()),
+        Box::new(Crp),
+        Box::new(ExponentialGradient::new(0.05)),
+        Box::new(Pamr::new(0.5)),
+        Box::new(Olmar::new(10.0, 5)),
+        Box::new(Wmamr::new(0.5, 5)),
+    ];
+    for start in [60usize, 500, 2_000] {
+        for p in &mut policies {
+            let r = run_backtest(&ds, p.as_mut(), 0.0025, start..start + 40);
+            for rec in &r.records {
+                assert!(
+                    ppn_baselines::simplex::is_simplex(&rec.action, 1e-6),
+                    "{} at t={} off simplex",
+                    r.name,
+                    rec.t
+                );
+                assert!(rec.wealth > 0.0 && rec.wealth.is_finite());
+            }
+        }
+    }
+}

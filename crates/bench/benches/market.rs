@@ -1,0 +1,81 @@
+//! Criterion benches for the market substrate: dataset generation,
+//! environment stepping, the cost fixed-point solver, and per-baseline
+//! update throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppn_market::{cost_proportion, run_backtest, Dataset, MarketConfig, Preset, TradingEnv};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    group.bench_function("5k_periods_12_assets", |b| {
+        let cfg = MarketConfig { assets: 12, periods: 5_000, ..MarketConfig::default() };
+        b.iter(|| black_box(ppn_market::generate_paths(&cfg)));
+    });
+    group.finish();
+}
+
+fn bench_env_step(c: &mut Criterion) {
+    let ds = Dataset::load(Preset::CryptoA);
+    let n = ds.assets() + 1;
+    let uniform = vec![1.0 / n as f64; n];
+    c.bench_function("env_step", |b| {
+        let mut env = TradingEnv::new(&ds, 30, 0.0025, 100..5_000);
+        env.reset();
+        b.iter(|| {
+            if env.remaining() == 0 {
+                env.reset();
+            }
+            black_box(env.step(&uniform))
+        });
+    });
+}
+
+fn bench_cost_fixed_point(c: &mut Criterion) {
+    // Design-choice bench: exact implicit-cost solve vs the L1 surrogate.
+    let a: Vec<f64> = (0..45).map(|i| if i == 3 { 0.6 } else { 0.4 / 44.0 }).collect();
+    let h = vec![1.0 / 45.0; 45];
+    let mut group = c.benchmark_group("cost_fixed_point");
+    group.bench_function("exact_solver", |b| {
+        b.iter(|| black_box(cost_proportion(0.0025, &a, &h, 1e-12)));
+    });
+    group.bench_function("l1_surrogate", |b| {
+        b.iter(|| black_box(ppn_market::turnover_l1(&a, &h) * 0.0025));
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = Dataset::load(Preset::CryptoA);
+    let mut group = c.benchmark_group("baseline_200_periods");
+    group.sample_size(10);
+    let run = |p: &mut dyn ppn_market::Policy| {
+        black_box(run_backtest(&ds, p, 0.0025, 1_000..1_200).metrics.apv)
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("OLMAR"), &0, |b, _| {
+        b.iter(|| run(&mut ppn_baselines::Olmar::new(10.0, 5)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("RMR"), &0, |b, _| {
+        b.iter(|| run(&mut ppn_baselines::Rmr::new(5.0, 5)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("ONS"), &0, |b, _| {
+        b.iter(|| run(&mut ppn_baselines::Ons::new(0.01, 1.0)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("CWMR"), &0, |b, _| {
+        b.iter(|| run(&mut ppn_baselines::Cwmr::new(0.5, 2.0)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("Anticor"), &0, |b, _| {
+        b.iter(|| run(&mut ppn_baselines::Anticor::new(10)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_env_step,
+    bench_cost_fixed_point,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for full network forward/backward passes at the
+//! paper's shapes (Table 2), per variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppn_core::batch::WindowBatch;
+use ppn_core::prelude::*;
+use ppn_core::reward::cost_sensitive_reward;
+use ppn_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn toy_batch(cfg: &NetConfig, b: usize, rng: &mut StdRng) -> WindowBatch {
+    let (m, k, d) = (cfg.assets, cfg.window, cfg.features);
+    let windows: Vec<Vec<f64>> =
+        (0..b).map(|_| Tensor::randn(rng, &[m * k * d], 0.01).map(|v| 1.0 + v).into_vec()).collect();
+    let prev = vec![vec![1.0 / (m as f64 + 1.0); m + 1]; b];
+    WindowBatch::new(&windows, &prev, m, k, d)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = NetConfig::paper(12);
+    let batch = toy_batch(&cfg, 16, &mut rng);
+    let mut group = c.benchmark_group("forward_b16_m12_k30");
+    group.sample_size(10);
+    for v in [Variant::Eiie, Variant::PpnLstm, Variant::PpnI, Variant::Ppn] {
+        let net = PolicyNet::new(v, cfg.clone(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |bench, _| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let bind = net.store.bind(&mut g);
+                let mut r = rand::rngs::mock::StepRng::new(0, 1);
+                black_box(net.forward(&mut g, &bind, &batch, false, &mut r))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = NetConfig::paper(12);
+    let batch = toy_batch(&cfg, 16, &mut rng);
+    let rel = Tensor::randn(&mut rng, &[16, 13], 0.01).map(|v| 1.0 + v);
+    let hat = Tensor::full(&[16, 13], 1.0 / 13.0);
+    let mut group = c.benchmark_group("fwd_bwd_reward_b16_m12");
+    group.sample_size(10);
+    for v in [Variant::Eiie, Variant::Ppn] {
+        let net = PolicyNet::new(v, cfg.clone(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |bench, _| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let bind = net.store.bind(&mut g);
+                let mut r = rand::rngs::mock::StepRng::new(0, 1);
+                let a = net.forward(&mut g, &bind, &batch, false, &mut r);
+                let nodes = cost_sensitive_reward(&mut g, a, &rel, &hat, 1e-4, 1e-3, 0.0025);
+                g.backward(nodes.loss);
+                black_box(bind.grads(&g).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train_step);
+criterion_main!(benches);

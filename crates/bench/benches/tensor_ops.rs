@@ -1,0 +1,113 @@
+//! Criterion microbenches for the autodiff substrate, including the
+//! design-choice ablations called out in DESIGN.md §4:
+//! `conv_dilation` (dilated vs plain causal convolutions at equal receptive
+//! field) and `graph_alloc` (tape rebuild cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppn_tensor::conv::{causal_padding, conv2d_forward};
+use ppn_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[16usize, 64, 128] {
+        let a = Tensor::randn(&mut rng, &[n, n], 1.0);
+        let b = Tensor::randn(&mut rng, &[n, n], 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: a dilated stack reaches receptive field 2·Σd(k−1)+1 with the
+/// same parameter count as an undilated stack that needs a larger kernel.
+fn bench_conv_dilation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (b, cin, m, k) = (16usize, 8usize, 12usize, 30usize);
+    let x = Tensor::randn(&mut rng, &[b, cin, m, k], 1.0);
+    let mut group = c.benchmark_group("conv_dilation");
+
+    // Dilated causal: kernel 1×3, dilation 4 → receptive field 9 per layer.
+    let w_dil = Tensor::randn(&mut rng, &[8, cin, 1, 3], 0.3);
+    let (pl, pr) = causal_padding(3, 4);
+    group.bench_function("dilated_k3_d4", |bench| {
+        bench.iter(|| black_box(conv2d_forward(&x, &w_dil, (1, 4), (0, 0, pl, pr))));
+    });
+
+    // Plain causal with the same receptive field needs kernel 1×9 (3× params).
+    let w_plain = Tensor::randn(&mut rng, &[8, cin, 1, 9], 0.3);
+    let (pl9, pr9) = causal_padding(9, 1);
+    group.bench_function("plain_k9_d1", |bench| {
+        bench.iter(|| black_box(conv2d_forward(&x, &w_plain, (1, 1), (0, 0, pl9, pr9))));
+    });
+    group.finish();
+}
+
+/// Ablation: cost of the correlational (m×1 SAME) convolution — the price
+/// paid for cross-asset mixing — vs a 1×1 that keeps assets independent.
+fn bench_cconv_cost(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("tccb_vs_tcb");
+    for &m in &[12usize, 44] {
+        let x = Tensor::randn(&mut rng, &[16, 16, m, 30], 1.0);
+        let w_cc = Tensor::randn(&mut rng, &[16, 16, m, 1], 0.1);
+        let (pt, pb) = ppn_tensor::conv::same_padding(m, 1);
+        group.bench_with_input(BenchmarkId::new("cconv", m), &m, |bench, _| {
+            bench.iter(|| black_box(conv2d_forward(&x, &w_cc, (1, 1), (pt, pb, 0, 0))));
+        });
+        let w_11 = Tensor::randn(&mut rng, &[16, 16, 1, 1], 0.1);
+        group.bench_with_input(BenchmarkId::new("pointwise", m), &m, |bench, _| {
+            bench.iter(|| black_box(conv2d_forward(&x, &w_11, (1, 1), (0, 0, 0, 0))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(&mut rng, &[64, 45], 1.0);
+    c.bench_function("softmax_fwd_bwd_64x45", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xn = g.param(x.clone());
+            let y = g.softmax(xn);
+            let s = g.sum(y);
+            g.backward(s);
+            black_box(g.grad(xn).is_some())
+        });
+    });
+}
+
+/// Tape allocation: building & dropping a ~200-node graph per step is the
+/// strategy the trainer uses; this quantifies the rebuild overhead.
+fn bench_graph_alloc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = Tensor::randn(&mut rng, &[32, 32], 1.0);
+    c.bench_function("graph_alloc_200_nodes", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let mut h = g.param(x.clone());
+            for _ in 0..100 {
+                let t = g.tanh(h);
+                h = g.add(t, h);
+            }
+            let s = g.sum(h);
+            g.backward(s);
+            black_box(g.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv_dilation,
+    bench_cconv_cost,
+    bench_softmax_backward,
+    bench_graph_alloc
+);
+criterion_main!(benches);

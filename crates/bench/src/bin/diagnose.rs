@@ -1,0 +1,49 @@
+//! Development diagnostic: per-preset learnability probe. Trains PPN-I with
+//! the current defaults and prints the reward trace, the resulting test
+//! APV/TO, and the UBAH / OLMAR reference points so the market presets and
+//! training knobs can be tuned until the paper's qualitative shape holds.
+
+use ppn_core::prelude::*;
+use ppn_market::{run_backtest, test_range, Dataset, Preset};
+
+fn main() {
+    let presets: Vec<Preset> = match std::env::args().nth(1).as_deref() {
+        Some("a") => vec![Preset::CryptoA],
+        Some("b") => vec![Preset::CryptoB],
+        Some("c") => vec![Preset::CryptoC],
+        Some("d") => vec![Preset::CryptoD],
+        _ => vec![Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD],
+    };
+    let steps: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    for p in presets {
+        let ds = Dataset::load(p);
+        let range = test_range(&ds);
+        let ubah = run_backtest(&ds, &mut ppn_baselines::Ubah::default(), 0.0025, range.clone());
+        let olmar = run_backtest(&ds, &mut ppn_baselines::Olmar::new(10.0, 5), 0.0025, range.clone());
+
+        let train = TrainConfig { steps, ..TrainConfig::default() };
+        let mut tr = Trainer::new(&ds, Variant::PpnI, RewardConfig::default(), train);
+        let mut trace = Vec::new();
+        for i in 0..steps {
+            let s = tr.step();
+            if i % (steps / 10).max(1) == 0 {
+                trace.push((i, s.reward, s.mean_turnover));
+            }
+        }
+        let net = tr.into_net();
+        let mut policy = NetPolicy::new(net);
+        let r = run_backtest(&ds, &mut policy, 0.0025, range);
+        println!("=== {} (m={}) ===", p.name(), ds.assets());
+        println!(
+            "  UBAH APV {:.3} | OLMAR APV {:.3} | PPN-I APV {:.3} TO {:.3} SR {:.2}%",
+            ubah.metrics.apv, olmar.metrics.apv, r.metrics.apv, r.metrics.turnover,
+            r.metrics.sharpe_pct
+        );
+        print!("  reward trace:");
+        for (i, rew, to) in &trace {
+            print!(" [{i}] {rew:+.4}/{to:.3}");
+        }
+        println!();
+    }
+}

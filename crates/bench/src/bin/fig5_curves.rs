@@ -1,0 +1,63 @@
+//! Figure 5: wealth-curve development of EIIE and every PPN variant over the
+//! Crypto-A test period. Emits `results/fig5_curves.csv` with one column per
+//! strategy (plus the paper-style summary of final values).
+
+use ppn_bench::{config_at, default_config, train_and_backtest, Budget};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let variants = [
+        Variant::Eiie,
+        Variant::PpnLstm,
+        Variant::PpnTcb,
+        Variant::PpnTccb,
+        Variant::PpnTcbLstm,
+        Variant::PpnTccbLstm,
+        Variant::PpnI,
+        Variant::Ppn,
+    ];
+    let mut curves = Vec::new();
+    for v in variants {
+        eprintln!("[fig5] {} ...", v.name());
+        let cfg = match v {
+            Variant::Ppn | Variant::PpnI | Variant::Eiie => default_config(Preset::CryptoA, v),
+            _ => config_at(Preset::CryptoA, v, Budget::Ablation),
+        };
+        let res = train_and_backtest(&cfg);
+        curves.push((v.name().to_string(), res.wealth));
+    }
+
+    let len = curves.iter().map(|(_, c)| c.len()).min().unwrap_or(0);
+    let mut csv = String::from("period");
+    for (name, _) in &curves {
+        csv.push(',');
+        csv.push_str(name);
+    }
+    csv.push('\n');
+    for t in 0..len {
+        csv.push_str(&t.to_string());
+        for (_, c) in &curves {
+            csv.push_str(&format!(",{:.6}", c[t]));
+        }
+        csv.push('\n');
+    }
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/fig5_curves.csv", &csv).unwrap();
+    let series: Vec<ppn_bench::Series> = curves
+        .iter()
+        .map(|(name, c)| ppn_bench::Series { name: name.clone(), values: c[..len].to_vec() })
+        .collect();
+    let cfg = ppn_bench::ChartConfig {
+        title: "Fig. 5 — wealth development on Crypto-A (test split)".into(),
+        y_label: "accumulated portfolio value (log scale)".into(),
+        log_y: true,
+        ..Default::default()
+    };
+    ppn_bench::save_chart(&series, &cfg, "fig5_curves.svg").unwrap();
+    println!("Wrote results/fig5_curves.csv and results/fig5_curves.svg ({len} periods).");
+    println!("Final APVs:");
+    for (name, c) in &curves {
+        println!("  {:<15} {:.2}", name, c.last().copied().unwrap_or(1.0));
+    }
+}

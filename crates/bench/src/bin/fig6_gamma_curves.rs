@@ -1,0 +1,51 @@
+//! Figure 6: PPN wealth curves on Crypto-A under different γ. Emits
+//! `results/fig6_gamma_curves.csv`. The paper-shape to look for: large γ
+//! curves go flat (trading stops when costs outweigh the edge).
+
+use ppn_bench::{config_at, train_and_backtest, Budget};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let gammas = [1e-4, 1e-3, 1e-2, 1e-1];
+    let mut curves = Vec::new();
+    for &gamma in &gammas {
+        eprintln!("[fig6] gamma={gamma:.0e} ...");
+        let mut cfg = config_at(Preset::CryptoA, Variant::Ppn, Budget::Sweep);
+        cfg.gamma = gamma;
+        let res = train_and_backtest(&cfg);
+        curves.push((format!("gamma={gamma:.0e}"), res.wealth));
+    }
+
+    let len = curves.iter().map(|(_, c)| c.len()).min().unwrap_or(0);
+    let mut csv = String::from("period");
+    for (name, _) in &curves {
+        csv.push(',');
+        csv.push_str(name);
+    }
+    csv.push('\n');
+    for t in 0..len {
+        csv.push_str(&t.to_string());
+        for (_, c) in &curves {
+            csv.push_str(&format!(",{:.6}", c[t]));
+        }
+        csv.push('\n');
+    }
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/fig6_gamma_curves.csv", &csv).unwrap();
+    let series: Vec<ppn_bench::Series> = curves
+        .iter()
+        .map(|(name, c)| ppn_bench::Series { name: name.clone(), values: c[..len].to_vec() })
+        .collect();
+    let cfg = ppn_bench::ChartConfig {
+        title: "Fig. 6 — PPN wealth under different gamma (Crypto-A)".into(),
+        y_label: "accumulated portfolio value (log scale)".into(),
+        log_y: true,
+        ..Default::default()
+    };
+    ppn_bench::save_chart(&series, &cfg, "fig6_gamma_curves.svg").unwrap();
+    println!("Wrote results/fig6_gamma_curves.csv and .svg ({len} periods).");
+    for (name, c) in &curves {
+        println!("  {:<12} final APV {:.2}", name, c.last().copied().unwrap_or(1.0));
+    }
+}

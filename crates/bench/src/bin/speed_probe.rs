@@ -1,0 +1,17 @@
+//! Quick throughput probe used while scoping experiment budgets.
+use ppn_core::prelude::*;
+use ppn_market::{Dataset, Preset};
+use std::time::Instant;
+
+fn main() {
+    let ds = Dataset::load(Preset::CryptoA);
+    for variant in [Variant::Ppn, Variant::PpnI, Variant::PpnLstm, Variant::Eiie] {
+        let cfg = TrainConfig { steps: 10, batch: 24, ..TrainConfig::default() };
+        let mut tr = Trainer::new(&ds, variant, RewardConfig::default(), cfg);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            tr.step();
+        }
+        println!("{:<10} {:>8.1} ms/step", variant.name(), t0.elapsed().as_secs_f64() * 100.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 4 / Table Sup.2: representation-ability ablation — PPN with every
+//! feature-extractor variant on the four crypto datasets.
+
+use ppn_bench::{config_at, default_config, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
+    let mut header = vec!["Module".to_string()];
+    for p in presets {
+        for m in ["APV", "SR(%)", "CR", "TO"] {
+            header.push(format!("{}:{}", p.name(), m));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table =
+        TableWriter::new("Table 4 — PPN with different feature extractors", &hdr);
+
+    for v in Variant::table4_order() {
+        let mut row = vec![v.name().to_string()];
+        for &p in &presets {
+            eprintln!("[table4] {} on {} ...", v.name(), p.name());
+            // PPN and PPN-I reuse the headline (full-budget) runs of Table 3;
+            // the pure-ablation variants train at the ablation budget.
+            let cfg = match v {
+                Variant::Ppn | Variant::PpnI => default_config(p, v),
+                _ => config_at(p, v, Budget::Ablation),
+            };
+            let res = train_and_backtest(&cfg);
+            let m = res.metrics;
+            row.extend([fnum(m.apv), fnum(m.sharpe_pct), fnum(m.calmar), fnum(m.turnover)]);
+        }
+        table.row(row);
+    }
+    table.finish("table4.md");
+}

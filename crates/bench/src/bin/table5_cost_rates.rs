@@ -1,0 +1,37 @@
+//! Table 5 / Table Sup.3: profitability under different transaction cost
+//! rates on Crypto-A (EIIE / PPN-I / PPN), retraining per rate as the paper
+//! does.
+
+use ppn_bench::{config_at, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let rates = [0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.02, 0.05];
+    let nets = [Variant::Eiie, Variant::PpnI, Variant::Ppn];
+
+    let mut header = vec!["Algos".to_string()];
+    for c in rates {
+        header.push(format!("c={}%:APV", c * 100.0));
+        header.push(format!("c={}%:TO", c * 100.0));
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TableWriter::new(
+        "Table 5 — Comparisons under different transaction cost rates on Crypto-A",
+        &hdr,
+    );
+
+    for v in nets {
+        let mut row = vec![v.name().to_string()];
+        for &psi in &rates {
+            eprintln!("[table5] {} at c={}% ...", v.name(), psi * 100.0);
+            let mut cfg = config_at(Preset::CryptoA, v, Budget::Sweep);
+            cfg.psi = psi;
+            let res = train_and_backtest(&cfg);
+            row.push(fnum(res.metrics.apv));
+            row.push(fnum(res.metrics.turnover));
+        }
+        table.row(row);
+    }
+    table.finish("table5.md");
+}

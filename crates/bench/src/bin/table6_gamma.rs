@@ -1,0 +1,35 @@
+//! Table 6 / Table Sup.4: cost-sensitivity to the transaction trade-off γ —
+//! PPN retrained at γ ∈ {1e−4, 1e−3, 1e−2, 1e−1} on every crypto dataset.
+//! The expected shape: turnover decreases monotonically with γ, APV peaks at
+//! a moderate γ (the paper's best is 1e−3).
+
+use ppn_bench::{config_at, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let gammas = [1e-4, 1e-3, 1e-2, 1e-1];
+    let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
+
+    let mut header = vec!["gamma".to_string()];
+    for p in presets {
+        header.push(format!("{}:APV", p.name()));
+        header.push(format!("{}:TO", p.name()));
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TableWriter::new("Table 6 — PPN under different gamma", &hdr);
+
+    for &gamma in &gammas {
+        let mut row = vec![format!("{gamma:.0e}")];
+        for &p in &presets {
+            eprintln!("[table6] gamma={gamma:.0e} on {} ...", p.name());
+            let mut cfg = config_at(p, Variant::Ppn, Budget::Sweep);
+            cfg.gamma = gamma;
+            let res = train_and_backtest(&cfg);
+            row.push(fnum(res.metrics.apv));
+            row.push(fnum(res.metrics.turnover));
+        }
+        table.row(row);
+    }
+    table.finish("table6.md");
+}

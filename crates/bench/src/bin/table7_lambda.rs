@@ -1,0 +1,36 @@
+//! Table 7 / Table Sup.5: cost-sensitivity to the risk trade-off λ — PPN
+//! retrained at λ ∈ {1e−4, 1e−3, 1e−2, 1e−1}. Expected shape: STD (and
+//! mostly MDD) decrease as λ grows, trading away some APV.
+
+use ppn_bench::{config_at, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let lambdas = [1e-4, 1e-3, 1e-2, 1e-1];
+    let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
+
+    let mut header = vec!["lambda".to_string()];
+    for p in presets {
+        for m in ["APV", "STD(%)", "MDD(%)"] {
+            header.push(format!("{}:{}", p.name(), m));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TableWriter::new("Table 7 — PPN under different lambda", &hdr);
+
+    for &lambda in &lambdas {
+        let mut row = vec![format!("{lambda:.0e}")];
+        for &p in &presets {
+            eprintln!("[table7] lambda={lambda:.0e} on {} ...", p.name());
+            let mut cfg = config_at(p, Variant::Ppn, Budget::Sweep);
+            cfg.lambda = lambda;
+            let res = train_and_backtest(&cfg);
+            row.push(fnum(res.metrics.apv));
+            row.push(fnum(res.metrics.std_pct));
+            row.push(fnum(res.metrics.mdd * 100.0));
+        }
+        table.row(row);
+    }
+    table.finish("table7.md");
+}

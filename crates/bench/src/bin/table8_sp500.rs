@@ -1,0 +1,30 @@
+//! Table 8: generalisation to the stock market — all methods on the
+//! S&P500-like daily dataset (APV, SR%, CR, TO).
+
+use ppn_bench::{default_config, fnum, run_baselines, train_and_backtest, TableWriter};
+use ppn_core::Variant;
+use ppn_market::Preset;
+
+fn main() {
+    let mut table = TableWriter::new(
+        "Table 8 — Performance comparisons on the S&P500-like dataset",
+        &["Algos", "APV", "SR(%)", "CR", "TO"],
+    );
+
+    for (name, m, _) in run_baselines(Preset::Sp500, 0.0025) {
+        table.row(vec![name, fnum(m.apv), fnum(m.sharpe_pct), fnum(m.calmar), fnum(m.turnover)]);
+    }
+    for v in [Variant::Eiie, Variant::PpnI, Variant::Ppn] {
+        eprintln!("[table8] {} on S&P500 ...", v.name());
+        let res = train_and_backtest(&default_config(Preset::Sp500, v));
+        let m = res.metrics;
+        table.row(vec![
+            v.name().to_string(),
+            fnum(m.apv),
+            fnum(m.sharpe_pct),
+            fnum(m.calmar),
+            fnum(m.turnover),
+        ]);
+    }
+    table.finish("table8.md");
+}

@@ -1,0 +1,50 @@
+//! Table 9: reinforcement-learning algorithm comparison on Crypto-A —
+//! PPN trained by direct policy gradient vs PPN-AC trained by DDPG (§7.2).
+//!
+//! The paper's finding (and the expected shape here): the critic's Q
+//! approximation is poor for this non-stationary, action-decoupled MDP, so
+//! PPN-AC lands well below PPN while still beating the handcraft baselines
+//! thanks to the shared two-stream actor.
+
+use ppn_bench::{default_config, fnum, train_and_backtest, TableWriter};
+use ppn_core::prelude::*;
+use ppn_market::{run_backtest, test_range, Dataset, Preset};
+
+fn main() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let mut table = TableWriter::new(
+        "Table 9 — RL algorithms for PPN on Crypto-A",
+        &["Algos", "APV", "STD(%)", "SR(%)", "MDD(%)", "CR"],
+    );
+
+    // PPN-AC via DDPG.
+    eprintln!("[table9] training PPN-AC (DDPG) ...");
+    let ddpg_cfg = DdpgConfig {
+        steps: std::env::var("PPN_DDPG_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(250),
+        ..DdpgConfig::default()
+    };
+    let actor = DdpgTrainer::new(&ds, Variant::Ppn, RewardConfig::default(), ddpg_cfg).train();
+    let mut ac_policy = NetPolicy::new(actor);
+    let ac = run_backtest(&ds, &mut ac_policy, 0.0025, test_range(&ds));
+    table.row(vec![
+        "PPN-AC".into(),
+        fnum(ac.metrics.apv),
+        fnum(ac.metrics.std_pct),
+        fnum(ac.metrics.sharpe_pct),
+        fnum(ac.metrics.mdd * 100.0),
+        fnum(ac.metrics.calmar),
+    ]);
+
+    // PPN via direct policy gradient (cached from Table 3).
+    let res = train_and_backtest(&default_config(Preset::CryptoA, Variant::Ppn));
+    let m = res.metrics;
+    table.row(vec![
+        "PPN".into(),
+        fnum(m.apv),
+        fnum(m.std_pct),
+        fnum(m.sharpe_pct),
+        fnum(m.mdd * 100.0),
+        fnum(m.calmar),
+    ]);
+    table.finish("table9.md");
+}

@@ -1,0 +1,107 @@
+//! Architecture and training hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Network hyper-parameters, defaulting to the paper's Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Number of risky assets `m`.
+    pub assets: usize,
+    /// Price-window length `k` (paper: 30).
+    pub window: usize,
+    /// Price features per period `d` (paper: 4 = OHLC).
+    pub features: usize,
+    /// LSTM hidden width (paper: 16).
+    pub lstm_hidden: usize,
+    /// Channel widths of the three TCCB blocks (paper: 8, 16, 16).
+    pub tccb_channels: [usize; 3],
+    /// Dilation rates of the three TCCB blocks (paper: 1, 2, 4).
+    pub tccb_dilations: [usize; 3],
+    /// Dropout rate inside the correlation net (paper: 0.2).
+    pub dropout: f64,
+    /// Fixed cash bias concatenated into the decision features (paper: 0).
+    pub cash_bias: f64,
+    /// EIIE feature maps after its second convolution (EIIE paper: 20).
+    pub eiie_channels: usize,
+}
+
+impl NetConfig {
+    /// Paper-default configuration for `m` assets.
+    pub fn paper(assets: usize) -> Self {
+        NetConfig {
+            assets,
+            window: 30,
+            features: 4,
+            lstm_hidden: 16,
+            tccb_channels: [8, 16, 16],
+            tccb_dilations: [1, 2, 4],
+            dropout: 0.2,
+            cash_bias: 0.0,
+            eiie_channels: 20,
+        }
+    }
+}
+
+/// Reward hyper-parameters (Eqn. 1) and the trading cost rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Risk trade-off λ (paper sweeps 1e−4..1e−1; best 1e−4 on Crypto-A).
+    pub lambda: f64,
+    /// Transaction-cost trade-off γ (paper's best: 1e−3).
+    pub gamma: f64,
+    /// Proportional transaction-cost rate ψ (paper: 0.25%).
+    pub psi: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig { lambda: 1e-4, gamma: 1e-3, psi: 0.0025 }
+    }
+}
+
+/// Direct-policy-gradient training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Gradient steps (paper: 1e5 on GPU; CPU repro default is much smaller).
+    pub steps: usize,
+    /// Trajectory length per online stochastic batch.
+    pub batch: usize,
+    /// Adam learning rate (paper: 1e−3).
+    pub lr: f64,
+    /// Global gradient-norm clip.
+    pub clip: f64,
+    /// Geometric-sampling decay for batch starts (EIIE-style bias toward the
+    /// most recent training data). 0 = uniform sampling.
+    pub sample_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { steps: 1_500, batch: 16, lr: 1e-2, clip: 5.0, sample_bias: 5e-4, seed: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table2() {
+        let c = NetConfig::paper(12);
+        assert_eq!(c.window, 30);
+        assert_eq!(c.features, 4);
+        assert_eq!(c.lstm_hidden, 16);
+        assert_eq!(c.tccb_channels, [8, 16, 16]);
+        assert_eq!(c.tccb_dilations, [1, 2, 4]);
+        assert_eq!(c.cash_bias, 0.0);
+    }
+
+    #[test]
+    fn reward_defaults_match_paper_best() {
+        let r = RewardConfig::default();
+        assert_eq!(r.gamma, 1e-3);
+        assert_eq!(r.psi, 0.0025);
+    }
+}

@@ -1,0 +1,133 @@
+//! Decision-making module (§4.4): feature fusion + recursive previous
+//! action + fixed cash bias + 1×1 "voting" convolution + softmax.
+//!
+//! Matching Table 2's concatenation row, the module:
+//! 1. concatenates all extracted feature maps with the previous risky
+//!    portfolio along the channel axis → `(B, C+1, m, 1)`;
+//! 2. prepends a constant cash row along the asset axis → `(B, C+1, m+1, 1)`;
+//! 3. applies a 1×1 convolution (one vote per feature channel) and a softmax
+//!    over the `m+1` assets.
+
+use ppn_tensor::layers::{Conv2dLayer, ConvKind};
+use ppn_tensor::{Binding, Graph, NodeId, ParamStore, Tensor};
+use rand::Rng;
+
+/// The final scoring head.
+pub struct DecisionModule {
+    conv: Conv2dLayer,
+    total_channels: usize,
+    cash_bias: f64,
+}
+
+impl DecisionModule {
+    /// `feature_channels` is the channel sum of the fused streams
+    /// (excluding the +1 previous-action channel added here).
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        feature_channels: usize,
+        cash_bias: f64,
+    ) -> Self {
+        let total = feature_channels + 1;
+        let conv =
+            Conv2dLayer::new(store, rng, name, total, 1, (1, 1), (1, 1), ConvKind::Valid);
+        DecisionModule { conv, total_channels: total, cash_bias }
+    }
+
+    /// Fuses features and produces the `(B, m+1)` portfolio (softmax rows).
+    ///
+    /// * `features` — stream outputs, each `(B, C_i, m, 1)`.
+    /// * `prev_risky` — `(B, 1, m, 1)` previous risky weights.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        features: &[NodeId],
+        prev_risky: NodeId,
+    ) -> NodeId {
+        assert!(!features.is_empty());
+        let shape = g.value(features[0]).shape().to_vec();
+        let (b, m) = (shape[0], shape[2]);
+        let mut parts: Vec<NodeId> = features.to_vec();
+        parts.push(prev_risky);
+        let fused = g.concat(&parts, 1); // (B, C+1, m, 1)
+        debug_assert_eq!(g.value(fused).shape()[1], self.total_channels);
+        // Cash row: constant bias replicated across channels.
+        let cash = g.leaf(Tensor::full(&[b, self.total_channels, 1, 1], self.cash_bias));
+        let full = g.concat(&[cash, fused], 2); // (B, C+1, m+1, 1); cash is row 0
+        let votes = self.conv.forward(g, bind, full); // (B, 1, m+1, 1)
+        let logits = g.reshape(votes, &[b, m + 1]);
+        g.softmax(logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(feature_channels: usize) -> (ParamStore, DecisionModule) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let dm = DecisionModule::new(&mut store, &mut rng, "dec", feature_channels, 0.0);
+        (store, dm)
+    }
+
+    #[test]
+    fn output_is_simplex_rows() {
+        let (store, dm) = setup(32);
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f1 = g.leaf(Tensor::randn(&mut rng, &[2, 16, 5, 1], 1.0));
+        let f2 = g.leaf(Tensor::randn(&mut rng, &[2, 16, 5, 1], 1.0));
+        let prev = g.leaf(Tensor::full(&[2, 1, 5, 1], 0.2));
+        let out = dm.forward(&mut g, &bind, &[f1, f2], prev);
+        let v = g.value(out);
+        assert_eq!(v.shape(), &[2, 6]);
+        for r in 0..2 {
+            let s: f64 = v.data()[r * 6..(r + 1) * 6].iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(v.data()[r * 6..(r + 1) * 6].iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn cash_slot_is_index_zero() {
+        // With zero features and a large positive bias on the cash row, the
+        // softmax should favour index 0 when the conv weights are positive.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let dm = DecisionModule::new(&mut store, &mut rng, "dec", 1, 5.0);
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        let f = g.leaf(Tensor::zeros(&[1, 1, 3, 1]));
+        let prev = g.leaf(Tensor::zeros(&[1, 1, 3, 1]));
+        let out = dm.forward(&mut g, &bind, &[f], prev);
+        let v = g.value(out);
+        // Risky logits are exactly the conv bias (zero init); the cash logit
+        // is bias-weighted. Either way all risky entries are identical.
+        assert!((v.data()[1] - v.data()[2]).abs() < 1e-12);
+        assert!((v.data()[2] - v.data()[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursive_input_influences_decision() {
+        let (store, dm) = setup(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let feat = Tensor::randn(&mut rng, &[1, 4, 4, 1], 1.0);
+        let run = |prev_val: f64| {
+            let mut g = Graph::new();
+            let bind = store.bind(&mut g);
+            let f = g.leaf(feat.clone());
+            let prev = g.leaf(Tensor::full(&[1, 1, 4, 1], prev_val));
+            let out = dm.forward(&mut g, &bind, &[f], prev);
+            g.value(out).clone()
+        };
+        let a = run(0.0);
+        let b = run(0.9);
+        assert!(a.max_abs_diff(&b) > 1e-9, "previous action ignored");
+    }
+}

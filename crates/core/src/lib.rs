@@ -1,0 +1,53 @@
+//! # ppn-core
+//!
+//! The paper's primary contribution: the **cost-sensitive Portfolio Policy
+//! Network** (PPN) and everything needed to train and evaluate it.
+//!
+//! * [`ppn::PolicyNet`] — the two-stream architecture of §4 (LSTM sequential
+//!   information net ∥ TCCB correlation information net ∥ recursive decision
+//!   module) and every ablation variant of Table 4, plus the EIIE baseline.
+//! * [`reward`] — the cost-sensitive reward of Eqn. (1) with the λ risk and
+//!   γ transaction-cost trade-offs (Theorems 1–2 give its near-optimality).
+//! * [`trainer::Trainer`] — direct policy gradient with the online
+//!   stochastic batch method and portfolio-vector memory (§5.1, Remark 3).
+//! * [`ddpg::DdpgTrainer`] — the PPN-AC actor-critic comparison of §7.2.
+//! * [`policy::NetPolicy`] — adapter running trained networks under the
+//!   shared `ppn_market` backtest harness.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ppn_core::prelude::*;
+//! use ppn_market::{run_backtest, test_range, Dataset, Preset};
+//!
+//! let ds = Dataset::load(Preset::CryptoA);
+//! let train = TrainConfig { steps: 200, ..TrainConfig::default() };
+//! let (mut policy, _report) = train_policy(&ds, Variant::Ppn, RewardConfig::default(), train);
+//! let result = run_backtest(&ds, &mut policy, 0.0025, test_range(&ds));
+//! println!("APV {:.2}", result.metrics.apv);
+//! ```
+
+pub mod batch;
+pub mod config;
+pub mod corrnet;
+pub mod ddpg;
+pub mod decision;
+pub mod online;
+pub mod persist;
+pub mod policy;
+pub mod ppn;
+pub mod reward;
+pub mod seqnet;
+pub mod trainer;
+
+/// One-stop imports for examples and the experiment harness.
+pub mod prelude {
+    pub use crate::config::{NetConfig, RewardConfig, TrainConfig};
+    pub use crate::ddpg::{DdpgConfig, DdpgTrainer};
+    pub use crate::online::OnlineNetPolicy;
+    pub use crate::policy::{train_policy, NetPolicy};
+    pub use crate::ppn::{PolicyNet, Variant};
+    pub use crate::trainer::{TrainReport, Trainer};
+}
+
+pub use prelude::*;

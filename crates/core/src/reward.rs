@@ -1,0 +1,247 @@
+//! The cost-sensitive reward function, Eqn. (1) of the paper:
+//!
+//! ```text
+//! R = (1/T) Σ_t r̂^c_t  −  λ σ²(r̂^c_t)  −  (γ/T) Σ_t ‖a_t − â_{t−1}‖₁
+//! ```
+//!
+//! where `r̂^c_t = log(a_tᵀx_t · (1 − c_t))` is the rebalanced log-return.
+//! During training the cost proportion uses the differentiable Proposition-4
+//! surrogate `c_t ≈ ψ‖a_t − â_{t−1}‖₁` (the exact `c_t` is an implicit fixed
+//! point; the surrogate brackets it per Prop. 4, and evaluation always uses
+//! the exact solver from `ppn_market::cost`).
+
+use ppn_tensor::{Graph, NodeId, Tensor};
+
+/// Graph nodes of the assembled reward (useful for logging components).
+pub struct RewardNodes {
+    /// The scalar reward `R` (maximise).
+    pub reward: NodeId,
+    /// The scalar loss `−R` (minimise — feed to `backward`).
+    pub loss: NodeId,
+    /// Mean rebalanced log-return component.
+    pub mean_log_return: NodeId,
+    /// Variance (risk) component before the λ weight.
+    pub variance: NodeId,
+    /// Mean L1 turnover component before the γ weight.
+    pub mean_turnover: NodeId,
+}
+
+/// Builds the cost-sensitive reward over a trajectory batch.
+///
+/// * `actions` — `(T, m+1)` node (the policy outputs; differentiable).
+/// * `relatives` — `(T, m+1)` price relatives `x_t` (constant leaf data).
+/// * `drifted` — `(T, m+1)` pre-rebalance holdings `â_{t−1}` (constant;
+///   the trainer reads them from the portfolio-vector memory).
+/// * `lambda`, `gamma` — the reward trade-offs.
+/// * `psi` — transaction-cost rate for the surrogate `c_t`.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn cost_sensitive_reward(
+    g: &mut Graph,
+    actions: NodeId,
+    relatives: &Tensor,
+    drifted: &Tensor,
+    lambda: f64,
+    gamma: f64,
+    psi: f64,
+) -> RewardNodes {
+    let shape = g.value(actions).shape().to_vec();
+    assert_eq!(shape.len(), 2, "actions must be (T, m+1)");
+    assert_eq!(relatives.shape(), &shape[..], "relatives shape");
+    assert_eq!(drifted.shape(), &shape[..], "drifted shape");
+
+    let x = g.leaf(relatives.clone());
+    let hat = g.leaf(drifted.clone());
+
+    // Gross returns a_tᵀ x_t → (T,)
+    let prod = g.mul(actions, x);
+    let gross = g.sum_axis(prod, 1);
+
+    // Turnover ‖a_t − â_{t−1}‖₁ → (T,)
+    let diff = g.sub(actions, hat);
+    let absdiff = g.abs(diff);
+    let turnover = g.sum_axis(absdiff, 1);
+
+    // Surrogate cost c_t = ψ·turnover; net return = gross·(1 − c).
+    let cost = g.scale(turnover, psi);
+    let one_minus_c = g.neg(cost);
+    let one_minus_c = g.add_scalar(one_minus_c, 1.0);
+    let net = g.mul(gross, one_minus_c);
+    let log_net = g.log(net);
+
+    let mean_log_return = g.mean(log_net);
+    let variance = g.variance(log_net);
+    let mean_turnover = g.mean(turnover);
+
+    let risk_term = g.scale(variance, lambda);
+    let to_term = g.scale(mean_turnover, gamma);
+    let r1 = g.sub(mean_log_return, risk_term);
+    let reward = g.sub(r1, to_term);
+    let loss = g.neg(reward);
+
+    RewardNodes { reward, loss, mean_log_return, variance, mean_turnover }
+}
+
+/// Evaluates the same reward outside the graph (for tests and logging),
+/// returning `(reward, mean_log_return, variance, mean_turnover)`.
+pub fn reward_value(
+    actions: &[Vec<f64>],
+    relatives: &[Vec<f64>],
+    drifted: &[Vec<f64>],
+    lambda: f64,
+    gamma: f64,
+    psi: f64,
+) -> (f64, f64, f64, f64) {
+    let t = actions.len();
+    assert!(t > 0 && relatives.len() == t && drifted.len() == t);
+    let mut logs = Vec::with_capacity(t);
+    let mut tos = Vec::with_capacity(t);
+    for i in 0..t {
+        let gross: f64 = actions[i].iter().zip(&relatives[i]).map(|(a, x)| a * x).sum();
+        let to: f64 = actions[i].iter().zip(&drifted[i]).map(|(a, h)| (a - h).abs()).sum();
+        logs.push((gross * (1.0 - psi * to)).ln());
+        tos.push(to);
+    }
+    let mean = logs.iter().sum::<f64>() / t as f64;
+    let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / t as f64;
+    let mto = tos.iter().sum::<f64>() / t as f64;
+    (mean - lambda * var - gamma * mto, mean, var, mto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_tensor::ParamStore;
+
+    fn uniform_rows(t: usize, n: usize) -> Tensor {
+        Tensor::full(&[t, n], 1.0 / n as f64)
+    }
+
+    #[test]
+    fn graph_and_closed_form_agree() {
+        let t = 4;
+        let n = 3;
+        let actions = vec![
+            vec![0.2, 0.5, 0.3],
+            vec![0.1, 0.6, 0.3],
+            vec![0.4, 0.3, 0.3],
+            vec![0.3, 0.3, 0.4],
+        ];
+        let relatives = vec![
+            vec![1.0, 1.05, 0.98],
+            vec![1.0, 0.97, 1.10],
+            vec![1.0, 1.01, 1.00],
+            vec![1.0, 0.95, 1.02],
+        ];
+        let drifted = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.2, 0.52, 0.28],
+            vec![0.1, 0.58, 0.32],
+            vec![0.4, 0.28, 0.32],
+        ];
+        let (lambda, gamma, psi) = (0.1, 0.01, 0.0025);
+        let (expect, ..) = reward_value(&actions, &relatives, &drifted, lambda, gamma, psi);
+
+        let flat = |rows: &[Vec<f64>]| -> Vec<f64> { rows.concat() };
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(&[t, n], flat(&actions)));
+        let nodes = cost_sensitive_reward(
+            &mut g,
+            a,
+            &Tensor::from_vec(&[t, n], flat(&relatives)),
+            &Tensor::from_vec(&[t, n], flat(&drifted)),
+            lambda,
+            gamma,
+            psi,
+        );
+        assert!((g.value(nodes.reward).item() - expect).abs() < 1e-12);
+        assert!((g.value(nodes.loss).item() + expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_trade_flat_market_reward_is_zero() {
+        let t = 5;
+        let n = 4;
+        let a = uniform_rows(t, n);
+        let mut g = Graph::new();
+        let an = g.param(a.clone());
+        let nodes =
+            cost_sensitive_reward(&mut g, an, &Tensor::ones(&[t, n]), &a, 0.1, 0.1, 0.0025);
+        assert!(g.value(nodes.reward).item().abs() < 1e-12);
+        assert!(g.value(nodes.mean_turnover).item().abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_penalises_turnover() {
+        // Same trajectory, different γ: higher γ ⇒ lower reward when trades happen.
+        let t = 3;
+        let n = 3;
+        let actions = Tensor::from_vec(
+            &[t, n],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        );
+        let relatives = Tensor::ones(&[t, n]);
+        let drifted = uniform_rows(t, n);
+        let r = |gamma: f64| {
+            let mut g = Graph::new();
+            let a = g.param(actions.clone());
+            let nodes = cost_sensitive_reward(&mut g, a, &relatives, &drifted, 0.0, gamma, 0.0);
+            g.value(nodes.reward).item()
+        };
+        assert!(r(0.1) < r(0.001));
+    }
+
+    #[test]
+    fn lambda_penalises_volatile_returns() {
+        let t = 4;
+        let n = 2;
+        // Volatile: alternate big win / big loss. Calm: steady small win.
+        let actions = Tensor::from_vec(&[t, n], vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        let volatile = Tensor::from_vec(&[t, n], vec![1.0, 1.5, 1.0, 0.7, 1.0, 1.5, 1.0, 0.7]);
+        let calm = Tensor::from_vec(&[t, n], vec![1.0, 1.02, 1.0, 1.02, 1.0, 1.02, 1.0, 1.02]);
+        let drifted = Tensor::from_vec(&[t, n], vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        let r = |x: &Tensor, lambda: f64| {
+            let mut g = Graph::new();
+            let a = g.param(actions.clone());
+            let nodes = cost_sensitive_reward(&mut g, a, x, &drifted, lambda, 0.0, 0.0);
+            g.value(nodes.reward).item()
+        };
+        // Risk penalty hits the volatile stream but not the calm one.
+        let drop_volatile = r(&volatile, 0.0) - r(&volatile, 1.0);
+        let drop_calm = r(&calm, 0.0) - r(&calm, 1.0);
+        assert!(drop_volatile > drop_calm + 1e-6);
+    }
+
+    #[test]
+    fn reward_gradient_flows_to_actions() {
+        let t = 3;
+        let n = 3;
+        let mut store = ParamStore::new();
+        let a0 = store.add("a", Tensor::from_vec(&[t, n], vec![
+            0.3, 0.4, 0.3, 0.3, 0.4, 0.3, 0.3, 0.4, 0.3,
+        ]));
+        let relatives = Tensor::from_vec(&[t, n], vec![
+            1.0, 1.1, 0.9, 1.0, 1.2, 0.8, 1.0, 1.05, 0.95,
+        ]);
+        let drifted = Tensor::full(&[t, n], 1.0 / 3.0);
+        let report = ppn_tensor::gradcheck::gradcheck(
+            &mut store,
+            |g, bind| {
+                let nodes = cost_sensitive_reward(
+                    g,
+                    bind.node(a0),
+                    &relatives,
+                    &drifted,
+                    0.05,
+                    0.01,
+                    0.0025,
+                );
+                nodes.loss
+            },
+            1e-6,
+            1,
+        );
+        assert!(report.max_rel_err < 1e-6, "{report:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's §3 extension: d = 5 inputs (OHLC + volume). The architecture
+//! is parameterised over `features`, so a five-feature PPN trains end to end.
+
+use ppn_core::batch::WindowBatch;
+use ppn_core::prelude::*;
+use ppn_core::reward::cost_sensitive_reward;
+use ppn_market::{drifted_weights, Dataset, Preset};
+use ppn_tensor::{clip_global_norm, Adam, Graph, Optimizer, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn five_feature_ppn_trains_end_to_end() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let m = ds.assets();
+    let k = 12;
+    let cfg = NetConfig { features: 5, window: k, ..NetConfig::paper(m) };
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = PolicyNet::new(Variant::Ppn, cfg, &mut rng);
+
+    let m1 = m + 1;
+    let uniform = vec![1.0 / m1 as f64; m1];
+    let mut opt = Adam::new(1e-3);
+    let mut net = net;
+    let mut last_reward = f64::NAN;
+    for step in 0..3 {
+        let t0 = 100 + step * 8;
+        let tn = 6;
+        let mut windows = Vec::new();
+        let mut prevs = Vec::new();
+        let mut rels = Vec::new();
+        let mut hats = Vec::new();
+        for b in 0..tn {
+            let t = t0 + b;
+            windows.push(ds.window_with_volume(t, k));
+            prevs.push(uniform.clone());
+            rels.extend_from_slice(ds.relative(t));
+            hats.extend_from_slice(&drifted_weights(&uniform, ds.relative(t - 1)));
+        }
+        let batch = WindowBatch::new(&windows, &prevs, m, k, 5);
+        let mut g = Graph::new();
+        let bind = net.store.bind(&mut g);
+        let actions = net.forward(&mut g, &bind, &batch, true, &mut rng);
+        assert_eq!(g.value(actions).shape(), &[tn, m1]);
+        let nodes = cost_sensitive_reward(
+            &mut g,
+            actions,
+            &Tensor::from_vec(&[tn, m1], rels),
+            &Tensor::from_vec(&[tn, m1], hats),
+            1e-4,
+            1e-3,
+            0.0025,
+        );
+        g.backward(nodes.loss);
+        let mut grads = bind.grads(&g);
+        clip_global_norm(&mut grads, 5.0);
+        opt.step(&mut net.store, &grads);
+        last_reward = g.value(nodes.reward).item();
+    }
+    assert!(last_reward.is_finite());
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the cost-sensitive reward (Eqn. 1).
+
+use ppn_core::reward::{cost_sensitive_reward, reward_value};
+use ppn_tensor::{Graph, Tensor};
+use proptest::prelude::*;
+
+/// Random simplex rows `(t, n)` flattened.
+fn simplex_rows(t: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.01..1.0f64, n), t).prop_map(|rows| {
+        rows.into_iter()
+            .map(|r| {
+                let s: f64 = r.iter().sum();
+                r.into_iter().map(|x| x / s).collect()
+            })
+            .collect()
+    })
+}
+
+/// Random relatives in the theorems' band (cash pinned at 1).
+fn relative_rows(t: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.5..2.0f64, n), t).prop_map(|rows| {
+        rows.into_iter()
+            .map(|mut r| {
+                r[0] = 1.0;
+                r
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_matches_closed_form(
+        seed in 0u64..1000,
+        lambda in 0.0..0.5f64,
+        gamma in 0.0..0.5f64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (t, n) = (5usize, 4usize);
+        let mk_simplex = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            let raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let s: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / s).collect()
+        };
+        let actions: Vec<Vec<f64>> = (0..t).map(|_| mk_simplex(&mut rng)).collect();
+        let drifted: Vec<Vec<f64>> = (0..t).map(|_| mk_simplex(&mut rng)).collect();
+        let relatives: Vec<Vec<f64>> = (0..t)
+            .map(|_| {
+                let mut r: Vec<f64> = (0..n).map(|_| rng.gen_range(0.6..1.6)).collect();
+                r[0] = 1.0;
+                r
+            })
+            .collect();
+        let psi = 0.0025;
+        let (expect, ..) = reward_value(&actions, &relatives, &drifted, lambda, gamma, psi);
+        let flat = |rows: &[Vec<f64>]| rows.concat();
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(&[t, n], flat(&actions)));
+        let nodes = cost_sensitive_reward(
+            &mut g,
+            a,
+            &Tensor::from_vec(&[t, n], flat(&relatives)),
+            &Tensor::from_vec(&[t, n], flat(&drifted)),
+            lambda,
+            gamma,
+            psi,
+        );
+        prop_assert!((g.value(nodes.reward).item() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reward_monotone_decreasing_in_lambda_and_gamma(
+        pair in (2usize..6, 3usize..6).prop_flat_map(|(t, n)| {
+            (simplex_rows(t, n), simplex_rows(t, n), relative_rows(t, n))
+        }),
+        l1 in 0.0..0.2f64,
+        dl in 0.001..0.2f64,
+    ) {
+        let (actions, drifted, relatives) = pair;
+        let r = |lambda: f64, gamma: f64| {
+            reward_value(&actions, &relatives, &drifted, lambda, gamma, 0.0025).0
+        };
+        // Variance and turnover are non-negative, so increasing either
+        // trade-off can never increase the reward.
+        prop_assert!(r(l1 + dl, 0.0) <= r(l1, 0.0) + 1e-12);
+        prop_assert!(r(0.0, l1 + dl) <= r(0.0, l1) + 1e-12);
+    }
+
+    #[test]
+    fn components_have_correct_signs(
+        pair in (2usize..6, 3usize..6).prop_flat_map(|(t, n)| {
+            (simplex_rows(t, n), simplex_rows(t, n), relative_rows(t, n))
+        }),
+    ) {
+        let (actions, drifted, relatives) = pair;
+        let (_, _mean, var, to) =
+            reward_value(&actions, &relatives, &drifted, 0.1, 0.1, 0.0025);
+        prop_assert!(var >= 0.0);
+        prop_assert!(to >= 0.0);
+        // Turnover per period is at most 2 for simplex pairs.
+        prop_assert!(to <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn holding_the_drifted_portfolio_has_zero_turnover_penalty(
+        pair in (2usize..6, 3usize..6).prop_flat_map(|(t, n)| {
+            (simplex_rows(t, n), relative_rows(t, n))
+        }),
+        gamma in 0.0..1.0f64,
+    ) {
+        let (holdings, relatives) = pair;
+        // actions == drifted: the γ term must vanish and ψ cost must be 0.
+        let (r_g, _, _, to) =
+            reward_value(&holdings, &relatives, &holdings, 0.0, gamma, 0.0025);
+        let (r_0, ..) = reward_value(&holdings, &relatives, &holdings, 0.0, 0.0, 0.0025);
+        prop_assert!(to.abs() < 1e-12);
+        prop_assert!((r_g - r_0).abs() < 1e-12);
+    }
+}

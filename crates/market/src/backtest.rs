@@ -1,0 +1,231 @@
+//! Backtest runner shared by every strategy (classic baselines and networks).
+//!
+//! Time alignment: an action decided at period `t` is exposed to the price
+//! relative `x_t` describing the move from close `t` to close `t+1`. Before
+//! deciding, the agent holds the *drifted* weights `â_{t−1}` (Proposition 4's
+//! pre-rebalance allocation); rebalancing to `a_t` pays the fixed-point cost
+//! from [`crate::cost::cost_proportion`].
+
+use crate::cost::cost_proportion;
+use crate::dataset::Dataset;
+use crate::metrics::{compute, Metrics};
+use crate::relatives::{drifted_weights, portfolio_return};
+
+/// What a policy sees when deciding the next portfolio.
+pub struct DecisionContext<'a> {
+    /// Absolute period index in the dataset.
+    pub t: usize,
+    /// The dataset (for price windows).
+    pub dataset: &'a Dataset,
+    /// Price relatives realised so far: `x_0 … x_{t−1}` (cash at index 0).
+    pub history: &'a [Vec<f64>],
+    /// Current (drifted) holdings `â_{t−1}`, length `m+1`.
+    pub drifted: &'a [f64],
+    /// Previous action `a_{t−1}` as decided (pre-drift), length `m+1`.
+    pub prev_action: &'a [f64],
+}
+
+/// A portfolio selection policy. Implementations must return a vector on the
+/// `m+1` simplex (cash first).
+pub trait Policy {
+    /// Display name used in result tables.
+    fn name(&self) -> String;
+
+    /// Decides `a_t` given the context. Must lie on the simplex.
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64>;
+
+    /// Resets internal state between backtests (default: no-op).
+    fn reset(&mut self) {}
+}
+
+/// One period of a completed backtest.
+#[derive(Debug, Clone)]
+pub struct PeriodRecord {
+    /// Absolute period index.
+    pub t: usize,
+    /// The action taken.
+    pub action: Vec<f64>,
+    /// Gross return `a_tᵀ x_t`.
+    pub gross_return: f64,
+    /// Transaction cost proportion `c_t`.
+    pub cost: f64,
+    /// Net log-return `log(a_tᵀx_t (1−c_t))`.
+    pub net_log_return: f64,
+    /// Wealth after the period.
+    pub wealth: f64,
+    /// Turnover `‖â_{t−1} − a_t·ω_t‖₁`.
+    pub turnover: f64,
+}
+
+/// Completed backtest: per-period records plus the aggregate metrics.
+#[derive(Debug, Clone)]
+pub struct BacktestResult {
+    /// Strategy display name.
+    pub name: String,
+    /// Per-period records in time order.
+    pub records: Vec<PeriodRecord>,
+    /// Aggregate metrics (paper §6.1.2).
+    pub metrics: Metrics,
+}
+
+impl BacktestResult {
+    /// Wealth curve, starting after the first period.
+    pub fn wealth_curve(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.wealth).collect()
+    }
+}
+
+/// Runs `policy` over periods `range` of `dataset` at cost rate `psi`.
+///
+/// `range` indexes into the dataset's relative vectors; for a paper-style
+/// test-split run use `dataset.split..dataset.periods()-1`.
+///
+/// # Panics
+/// Panics if the policy returns a vector off the simplex by more than 1e-6.
+pub fn run_backtest(
+    dataset: &Dataset,
+    policy: &mut dyn Policy,
+    psi: f64,
+    range: std::ops::Range<usize>,
+) -> BacktestResult {
+    policy.reset();
+    let m1 = dataset.assets() + 1;
+    let mut prev_action = vec![0.0; m1];
+    prev_action[0] = 1.0; // a_0 = (1, 0, …, 0): all cash
+    let mut drifted = prev_action.clone();
+    let mut wealth = 1.0;
+    let mut records = Vec::with_capacity(range.len());
+
+    for t in range {
+        let action = {
+            let ctx = DecisionContext {
+                t,
+                dataset,
+                history: &dataset.relatives[..t],
+                drifted: &drifted,
+                prev_action: &prev_action,
+            };
+            policy.decide(&ctx)
+        };
+        validate_simplex(&action, policy, t);
+
+        let sol = cost_proportion(psi, &action, &drifted, 1e-12);
+        let x = dataset.relative(t);
+        let gross = portfolio_return(&action, x);
+        let net = gross * (1.0 - sol.cost);
+        wealth *= net;
+        let turnover: f64 = drifted
+            .iter()
+            .zip(&action)
+            .map(|(&h, &a)| (h - a * sol.omega).abs())
+            .sum();
+        records.push(PeriodRecord {
+            t,
+            action: action.clone(),
+            gross_return: gross,
+            cost: sol.cost,
+            net_log_return: net.ln(),
+            wealth,
+            turnover,
+        });
+        drifted = drifted_weights(&action, x);
+        prev_action = action;
+    }
+
+    let logs: Vec<f64> = records.iter().map(|r| r.net_log_return).collect();
+    let curve: Vec<f64> = records.iter().map(|r| r.wealth).collect();
+    let tos: Vec<f64> = records.iter().map(|r| r.turnover).collect();
+    BacktestResult { name: policy.name(), metrics: compute(&logs, &curve, &tos), records }
+}
+
+fn validate_simplex(a: &[f64], policy: &dyn Policy, t: usize) {
+    let sum: f64 = a.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-6 && a.iter().all(|&x| x >= -1e-9),
+        "{} returned an off-simplex action at t={t}: sum={sum}",
+        policy.name()
+    );
+}
+
+/// The paper's standard test-split range for a dataset.
+pub fn test_range(dataset: &Dataset) -> std::ops::Range<usize> {
+    dataset.split..dataset.periods() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Preset};
+
+    /// Hold-cash policy used to pin down the accounting.
+    struct Cash;
+    impl Policy for Cash {
+        fn name(&self) -> String {
+            "CASH".into()
+        }
+        fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+            let mut a = vec![0.0; ctx.dataset.assets() + 1];
+            a[0] = 1.0;
+            a
+        }
+    }
+
+    /// Uniform rebalanced policy.
+    struct Uniform;
+    impl Policy for Uniform {
+        fn name(&self) -> String {
+            "UNIFORM".into()
+        }
+        fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+            let n = ctx.dataset.assets() + 1;
+            vec![1.0 / n as f64; n]
+        }
+    }
+
+    #[test]
+    fn cash_policy_keeps_wealth_exactly_one() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let r = run_backtest(&ds, &mut Cash, 0.0025, 100..300);
+        assert!((r.metrics.apv - 1.0).abs() < 1e-12);
+        assert_eq!(r.metrics.turnover, 0.0);
+        assert_eq!(r.metrics.mdd, 0.0);
+    }
+
+    #[test]
+    fn costs_reduce_wealth() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let free = run_backtest(&ds, &mut Uniform, 0.0, 100..600);
+        let taxed = run_backtest(&ds, &mut Uniform, 0.01, 100..600);
+        assert!(taxed.metrics.apv < free.metrics.apv);
+        assert!(taxed.metrics.turnover > 0.0);
+    }
+
+    #[test]
+    fn wealth_equals_product_of_net_returns() {
+        let ds = Dataset::load(Preset::CryptoB);
+        let r = run_backtest(&ds, &mut Uniform, 0.0025, 50..250);
+        let prod: f64 = r.records.iter().map(|p| p.gross_return * (1.0 - p.cost)).product();
+        assert!((r.metrics.apv - prod).abs() < 1e-9);
+        // Each net log return consistent with the record.
+        for p in &r.records {
+            assert!((p.net_log_return - (p.gross_return * (1.0 - p.cost)).ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_period_pays_entry_cost_for_uniform() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let r = run_backtest(&ds, &mut Uniform, 0.0025, 100..101);
+        // Buying 12/13 of wealth into assets: c ≈ ψ·(12/13).
+        let expect = 0.0025 * (12.0 / 13.0);
+        assert!((r.records[0].cost - expect).abs() < 1e-4, "{}", r.records[0].cost);
+    }
+
+    #[test]
+    fn test_range_is_nonempty_and_in_bounds() {
+        let ds = Dataset::load(Preset::CryptoC);
+        let r = test_range(&ds);
+        assert!(r.start < r.end);
+        assert!(r.end <= ds.relatives.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Proportional transaction cost model (§5.2.2 and Proposition 4).
+//!
+//! After deciding `a_t`, the agent rebalances from the drifted portfolio
+//! `â_{t−1}` to `a_t`. With equal purchase/sale rates `ψ`, the cost
+//! proportion solves the implicit equation
+//!
+//! ```text
+//! c_t = ψ · ‖ a_t·ω_t − â_{t−1} ‖₁  over the m risky assets,  ω_t = 1 − c_t
+//! ```
+//!
+//! (the cash coordinate is excluded from the sum — cash moves carry no fee).
+//! [`cost_proportion`] solves it by fixed-point iteration; the iteration is a
+//! contraction with factor ≤ ψ‖a‖₁ ≤ ψ < 1, so convergence is geometric.
+//!
+//! Proposition 4 brackets the solution in terms of the explicit L1 turnover
+//! `‖a_t − â_{t−1}‖₁`, which is what the paper's reward penalises (and what
+//! training differentiates through).
+
+/// Result of solving the implicit cost equation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSolution {
+    /// Cost proportion `c_t ∈ [0, 1)`.
+    pub cost: f64,
+    /// Net-wealth proportion `ω_t = 1 − c_t`.
+    pub omega: f64,
+    /// Iterations used by the fixed-point solver.
+    pub iterations: usize,
+}
+
+/// L1 distance over the **risky** coordinates (index 0 = cash is skipped),
+/// with the target scaled by `omega`.
+fn risky_l1(target: &[f64], omega: f64, drifted: &[f64]) -> f64 {
+    target
+        .iter()
+        .zip(drifted)
+        .skip(1)
+        .map(|(&a, &h)| (a * omega - h).abs())
+        .sum()
+}
+
+/// Solves `c = ψ‖a·(1−c) − â‖₁` by fixed-point iteration to `tol`.
+///
+/// # Panics
+/// Panics unless `0 ≤ ψ < 1` and the two weight vectors have equal lengths.
+pub fn cost_proportion(psi: f64, action: &[f64], drifted: &[f64], tol: f64) -> CostSolution {
+    assert!((0.0..1.0).contains(&psi), "cost rate psi={psi}");
+    assert_eq!(action.len(), drifted.len());
+    if psi == 0.0 {
+        return CostSolution { cost: 0.0, omega: 1.0, iterations: 0 };
+    }
+    let mut c = psi * risky_l1(action, 1.0, drifted); // surrogate as warm start
+    let mut iterations = 0;
+    loop {
+        let next = psi * risky_l1(action, 1.0 - c, drifted);
+        iterations += 1;
+        if (next - c).abs() < tol || iterations >= 64 {
+            c = next;
+            break;
+        }
+        c = next;
+    }
+    CostSolution { cost: c, omega: 1.0 - c, iterations }
+}
+
+/// The differentiable surrogate used in the reward's transaction-cost term
+/// (and during training): the full L1 turnover `‖a_t − â_{t−1}‖₁` including
+/// the cash coordinate, exactly as written in Eqn. (1).
+pub fn turnover_l1(action: &[f64], drifted: &[f64]) -> f64 {
+    action.iter().zip(drifted).map(|(&a, &h)| (a - h).abs()).sum()
+}
+
+/// Proposition 4 bounds: `ψ/(1+ψ)·L1 ≤ c_t ≤ ψ/(1−ψ)·L1` where `L1` is the
+/// *risky-coordinate* turnover at `ω = 1` used in the proposition's proof.
+pub fn prop4_bounds(psi: f64, action: &[f64], drifted: &[f64]) -> (f64, f64) {
+    let l1 = risky_l1(action, 1.0, drifted);
+    (psi / (1.0 + psi) * l1, psi / (1.0 - psi) * l1)
+}
+
+/// Upper bound on any admissible turnover from Proposition 4:
+/// `‖a_t − â_{t−1}‖₁ ≤ 2(1−ψ)/(1+ψ)`.
+pub fn max_turnover(psi: f64) -> f64 {
+    2.0 * (1.0 - psi) / (1.0 + psi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PSI: f64 = 0.0025; // the paper's 0.25% Poloniex rate
+
+    #[test]
+    fn no_trade_no_cost() {
+        let a = [0.5, 0.3, 0.2];
+        let s = cost_proportion(PSI, &a, &a, 1e-12);
+        assert_eq!(s.cost, 0.0);
+        assert_eq!(s.omega, 1.0);
+    }
+
+    #[test]
+    fn zero_rate_no_cost() {
+        let a = [0.0, 1.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let s = cost_proportion(0.0, &a, &b, 1e-12);
+        assert_eq!(s.cost, 0.0);
+    }
+
+    #[test]
+    fn full_swing_costs_about_psi() {
+        // All-in from cash to one asset: buy 1·ω of the asset → c ≈ ψ·ω.
+        let from_cash = [1.0, 0.0];
+        let to_asset = [0.0, 1.0];
+        let s = cost_proportion(PSI, &to_asset, &from_cash, 1e-14);
+        let expect = PSI / (1.0 + PSI); // c = ψ(1−c) ⇒ c = ψ/(1+ψ)
+        assert!((s.cost - expect).abs() < 1e-12, "{} vs {}", s.cost, expect);
+    }
+
+    #[test]
+    fn solution_satisfies_implicit_equation() {
+        let a = [0.1, 0.5, 0.2, 0.2];
+        let h = [0.4, 0.1, 0.3, 0.2];
+        for &psi in &[0.001, 0.0025, 0.01, 0.05, 0.2] {
+            let s = cost_proportion(psi, &a, &h, 1e-14);
+            let rhs = psi * risky_l1(&a, s.omega, &h);
+            assert!((s.cost - rhs).abs() < 1e-10, "psi={psi}: {} vs {rhs}", s.cost);
+            assert!(s.cost >= 0.0 && s.cost < 1.0);
+        }
+    }
+
+    #[test]
+    fn prop4_brackets_exact_cost() {
+        let a = [0.2, 0.3, 0.5, 0.0];
+        let h = [0.05, 0.6, 0.15, 0.2];
+        for &psi in &[0.0025, 0.01, 0.05, 0.25] {
+            let s = cost_proportion(psi, &a, &h, 1e-14);
+            let (lo, hi) = prop4_bounds(psi, &a, &h);
+            assert!(
+                lo <= s.cost + 1e-12 && s.cost <= hi + 1e-12,
+                "psi={psi}: {lo} ≤ {} ≤ {hi}",
+                s.cost
+            );
+        }
+    }
+
+    #[test]
+    fn converges_fast() {
+        let a = [0.0, 0.5, 0.5];
+        let h = [1.0, 0.0, 0.0];
+        let s = cost_proportion(0.25, &a, &h, 1e-14);
+        assert!(s.iterations < 40, "iterations {}", s.iterations);
+    }
+
+    #[test]
+    fn max_turnover_bound() {
+        assert!((max_turnover(0.0) - 2.0).abs() < 1e-15);
+        assert!(max_turnover(0.5) < 1.0 + 1e-12);
+        // Any pair of simplex vectors has L1 distance ≤ 2 = max_turnover(0).
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!(turnover_l1(&a, &b) <= max_turnover(0.0) + 1e-12);
+    }
+}

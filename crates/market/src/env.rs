@@ -1,0 +1,203 @@
+//! Gym-style MDP wrapper over a [`Dataset`] (§3.1 of the paper).
+//!
+//! States are normalised `(m, k, 4)` price windows; actions are `m+1`
+//! simplex portfolios; the reward is the rebalanced log-return
+//! `log(a_tᵀx_t · (1 − c_t))`. Because of the paper's zero-market-impact
+//! assumption (Remark 1), the state transition ignores the action — the
+//! environment simply advances along the recorded price series.
+
+use crate::cost::cost_proportion;
+use crate::dataset::Dataset;
+use crate::relatives::{drifted_weights, portfolio_return};
+
+/// Observation handed to the agent: the normalised price window plus the
+/// recursive inputs the PPN decision module consumes.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Period index the agent is deciding at.
+    pub t: usize,
+    /// Normalised `(m, k, 4)` window, row-major.
+    pub window: Vec<f64>,
+    /// Previous action `a_{t−1}` (length `m+1`).
+    pub prev_action: Vec<f64>,
+    /// Drifted holdings `â_{t−1}` (length `m+1`).
+    pub drifted: Vec<f64>,
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Rebalanced log-return (the MDP reward).
+    pub reward: f64,
+    /// Gross return `a_tᵀ x_t`.
+    pub gross_return: f64,
+    /// Transaction cost proportion paid.
+    pub cost: f64,
+    /// Wealth after the step.
+    pub wealth: f64,
+    /// True when the episode (the configured range) is exhausted.
+    pub done: bool,
+}
+
+/// Sequential trading environment over a dataset slice.
+pub struct TradingEnv<'a> {
+    dataset: &'a Dataset,
+    /// Window length `k` (the paper uses 30).
+    pub k: usize,
+    /// Proportional cost rate `ψ`.
+    pub psi: f64,
+    range: std::ops::Range<usize>,
+    t: usize,
+    prev_action: Vec<f64>,
+    drifted: Vec<f64>,
+    wealth: f64,
+}
+
+impl<'a> TradingEnv<'a> {
+    /// New environment over `range` (period indices into the relatives).
+    ///
+    /// # Panics
+    /// Panics if the range starts before a full window is available.
+    pub fn new(dataset: &'a Dataset, k: usize, psi: f64, range: std::ops::Range<usize>) -> Self {
+        assert!(range.start + 1 >= k, "range must allow a full window of {k}");
+        assert!(range.end <= dataset.relatives.len());
+        let m1 = dataset.assets() + 1;
+        let mut a0 = vec![0.0; m1];
+        a0[0] = 1.0;
+        TradingEnv {
+            dataset,
+            k,
+            psi,
+            t: range.start,
+            range,
+            prev_action: a0.clone(),
+            drifted: a0,
+            wealth: 1.0,
+        }
+    }
+
+    /// Restarts the episode.
+    pub fn reset(&mut self) -> Observation {
+        let m1 = self.dataset.assets() + 1;
+        self.t = self.range.start;
+        self.prev_action = vec![0.0; m1];
+        self.prev_action[0] = 1.0;
+        self.drifted = self.prev_action.clone();
+        self.wealth = 1.0;
+        self.observe()
+    }
+
+    /// Current observation.
+    pub fn observe(&self) -> Observation {
+        Observation {
+            t: self.t,
+            window: self.dataset.window(self.t, self.k),
+            prev_action: self.prev_action.clone(),
+            drifted: self.drifted.clone(),
+        }
+    }
+
+    /// Applies `action` (an `m+1` simplex vector), advances one period.
+    ///
+    /// # Panics
+    /// Panics if called after the episode ended or the action is off-simplex.
+    pub fn step(&mut self, action: &[f64]) -> StepOutcome {
+        assert!(self.t < self.range.end, "step on finished episode");
+        let sum: f64 = action.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "action off simplex: {sum}");
+
+        let sol = cost_proportion(self.psi, action, &self.drifted, 1e-12);
+        let x = self.dataset.relative(self.t);
+        let gross = portfolio_return(action, x);
+        let net = gross * (1.0 - sol.cost);
+        self.wealth *= net;
+        self.drifted = drifted_weights(action, x);
+        self.prev_action = action.to_vec();
+        self.t += 1;
+        StepOutcome {
+            reward: net.ln(),
+            gross_return: gross,
+            cost: sol.cost,
+            wealth: self.wealth,
+            done: self.t >= self.range.end,
+        }
+    }
+
+    /// Wealth accumulated so far.
+    pub fn wealth(&self) -> f64 {
+        self.wealth
+    }
+
+    /// Remaining steps in the episode.
+    pub fn remaining(&self) -> usize {
+        self.range.end - self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Preset;
+
+    #[test]
+    fn episode_walks_the_range() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut env = TradingEnv::new(&ds, 30, 0.0025, 100..110);
+        let obs = env.reset();
+        assert_eq!(obs.t, 100);
+        assert_eq!(obs.window.len(), 12 * 30 * 4);
+        assert_eq!(obs.prev_action[0], 1.0);
+        let n = ds.assets() + 1;
+        let uniform = vec![1.0 / n as f64; n];
+        let mut steps = 0;
+        loop {
+            let out = env.step(&uniform);
+            steps += 1;
+            if out.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 10);
+        assert_eq!(env.remaining(), 0);
+    }
+
+    #[test]
+    fn cash_action_yields_zero_reward() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut env = TradingEnv::new(&ds, 30, 0.0025, 100..105);
+        env.reset();
+        let mut cash = vec![0.0; ds.assets() + 1];
+        cash[0] = 1.0;
+        let out = env.step(&cash);
+        assert!(out.reward.abs() < 1e-12);
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.wealth, 1.0);
+    }
+
+    #[test]
+    fn reward_matches_wealth_change() {
+        let ds = Dataset::load(Preset::CryptoB);
+        let mut env = TradingEnv::new(&ds, 30, 0.0025, 200..220);
+        env.reset();
+        let n = ds.assets() + 1;
+        let uniform = vec![1.0 / n as f64; n];
+        let mut log_sum = 0.0;
+        loop {
+            let out = env.step(&uniform);
+            log_sum += out.reward;
+            if out.done {
+                assert!((out.wealth.ln() - log_sum).abs() < 1e-9);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "off simplex")]
+    fn rejects_bad_action() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut env = TradingEnv::new(&ds, 30, 0.0, 100..105);
+        env.reset();
+        env.step(&vec![0.9; ds.assets() + 1]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ppn-market
+//!
+//! Market substrate for the Rust reproduction of *"Cost-Sensitive Portfolio
+//! Selection via Deep Reinforcement Learning"*: a synthetic OHLC market
+//! generator standing in for the paper's Poloniex/Kaggle feeds, the trading
+//! MDP of §3.1, the proportional transaction-cost model of §5.2.2 with its
+//! Proposition-4 bounds, the backtest runner, and the evaluation metrics of
+//! §6.1.2 (APV, SR, CR, MDD, STD, TO).
+//!
+//! ```
+//! use ppn_market::{Dataset, Preset, run_backtest, test_range, Policy, DecisionContext};
+//!
+//! struct Uniform;
+//! impl Policy for Uniform {
+//!     fn name(&self) -> String { "UBAH-ish".into() }
+//!     fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+//!         let n = ctx.dataset.assets() + 1;
+//!         vec![1.0 / n as f64; n]
+//!     }
+//! }
+//!
+//! let ds = Dataset::load(Preset::CryptoA);
+//! let result = run_backtest(&ds, &mut Uniform, 0.0025, 100..200);
+//! assert!(result.metrics.apv > 0.0);
+//! ```
+
+pub mod backtest;
+pub mod cost;
+pub mod dataset;
+pub mod env;
+pub mod gbm;
+pub mod metrics;
+pub mod ohlc;
+pub mod relatives;
+pub mod risk;
+
+pub use backtest::{run_backtest, test_range, BacktestResult, DecisionContext, PeriodRecord, Policy};
+pub use cost::{cost_proportion, max_turnover, prop4_bounds, turnover_l1, CostSolution};
+pub use dataset::{stats, Dataset, DatasetStats, Preset};
+pub use env::{Observation, StepOutcome, TradingEnv};
+pub use gbm::{generate_paths, ClosePaths, MarketConfig};
+pub use metrics::{compute as compute_metrics, max_drawdown, mean_std, Metrics};
+pub use ohlc::{synthesize_ohlc, Bar, OhlcSeries};
+pub use relatives::{drifted_weights, portfolio_return, price_relatives};
+pub use risk::{
+    annualized_return, annualized_volatility, downside_deviation, expected_shortfall,
+    sortino_ratio, value_at_risk,
+};

@@ -1,0 +1,132 @@
+//! Evaluation metrics (§6.1.2): APV, Sharpe ratio, Calmar ratio, maximum
+//! drawdown, return standard deviation, and average turnover.
+
+use serde::{Deserialize, Serialize};
+
+/// Metric bundle for one backtest, using the paper's definitions:
+///
+/// * `APV  = S_n = Π a_tᵀx_t (1 − c_t)`
+/// * `SR   = mean(r̂^c) / std(r̂^c)` over rebalanced log-returns, in percent
+/// * `MDD  = max_{τ>t} (S_t − S_τ)/S_t`
+/// * `CR   = (S_n − 1) / MDD` (accumulated *profit* over MDD — this is the
+///   reading consistent with the negative CR entries of Table 3)
+/// * `STD  = std(r̂^c)` in percent
+/// * `TO   = (1/2n) Σ ‖â_{t−1} − a_t ω_t‖₁`
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Accumulated portfolio value (final wealth, S₀ = 1).
+    pub apv: f64,
+    /// Sharpe ratio in percent.
+    pub sharpe_pct: f64,
+    /// Calmar ratio.
+    pub calmar: f64,
+    /// Maximum drawdown in `[0, 1]`.
+    pub mdd: f64,
+    /// Standard deviation of per-period log-returns, in percent.
+    pub std_pct: f64,
+    /// Average turnover per period.
+    pub turnover: f64,
+}
+
+/// Maximum drawdown of a wealth curve.
+pub fn max_drawdown(wealth: &[f64]) -> f64 {
+    let mut peak = f64::NEG_INFINITY;
+    let mut mdd = 0.0f64;
+    for &w in wealth {
+        peak = peak.max(w);
+        if peak > 0.0 {
+            mdd = mdd.max((peak - w) / peak);
+        }
+    }
+    mdd
+}
+
+/// Sample statistics `(mean, population std)` of a slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Computes the full metric bundle from per-period records.
+///
+/// * `net_log_returns[t] = log(a_tᵀx_t · (1 − c_t))`
+/// * `wealth[t]` — wealth *after* period `t` (curve starts implicitly at 1)
+/// * `turnovers[t] = ‖â_{t−1} − a_t·ω_t‖₁`
+pub fn compute(net_log_returns: &[f64], wealth: &[f64], turnovers: &[f64]) -> Metrics {
+    let apv = wealth.last().copied().unwrap_or(1.0);
+    let (mean_r, std_r) = mean_std(net_log_returns);
+    let sharpe_pct = if std_r > 0.0 { 100.0 * mean_r / std_r } else { 0.0 };
+    // Include the starting wealth so a monotone-down curve still has a peak.
+    let mut curve = Vec::with_capacity(wealth.len() + 1);
+    curve.push(1.0);
+    curve.extend_from_slice(wealth);
+    let mdd = max_drawdown(&curve);
+    let calmar = if mdd > 0.0 { (apv - 1.0) / mdd } else { 0.0 };
+    let n = net_log_returns.len().max(1) as f64;
+    let turnover = turnovers.iter().sum::<f64>() / (2.0 * n);
+    Metrics { apv, sharpe_pct, calmar, mdd, std_pct: 100.0 * std_r, turnover }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mdd_of_monotone_growth_is_zero() {
+        assert_eq!(max_drawdown(&[1.0, 1.1, 1.2, 1.3]), 0.0);
+    }
+
+    #[test]
+    fn mdd_known_value() {
+        // Peak 2.0 → trough 1.0: MDD = 0.5 even with later recovery.
+        let w = [1.0, 2.0, 1.5, 1.0, 1.8, 2.1];
+        assert!((max_drawdown(&w) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mdd_uses_running_peak() {
+        let w = [1.0, 0.5, 3.0, 2.4];
+        // First dip: 50%; later dip from 3.0 → 2.4: 20%. Max = 0.5.
+        assert!((max_drawdown(&w) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_on_constant_growth() {
+        let r = 0.01f64;
+        let n = 100;
+        let logs = vec![r; n];
+        let wealth: Vec<f64> = (1..=n).map(|t| (r * t as f64).exp()).collect();
+        let to = vec![0.0; n];
+        let m = compute(&logs, &wealth, &to);
+        assert!((m.apv - (r * n as f64).exp()).abs() < 1e-9);
+        // Constant returns: variance vanishes up to floating-point residue.
+        assert!(m.std_pct < 1e-12, "std {}", m.std_pct);
+        assert_eq!(m.mdd, 0.0);
+        assert_eq!(m.turnover, 0.0);
+    }
+
+    #[test]
+    fn losing_strategy_has_negative_calmar() {
+        let logs = vec![-0.01; 50];
+        let wealth: Vec<f64> = (1..=50).map(|t| (-0.01 * t as f64).exp()).collect();
+        let m = compute(&logs, &wealth, &vec![0.1; 50]);
+        assert!(m.apv < 1.0);
+        assert!(m.calmar < 0.0, "calmar {}", m.calmar);
+        assert!(m.mdd > 0.0);
+        assert!((m.turnover - 0.05 / 1.0).abs() < 1e-12); // 0.1 / 2
+    }
+
+    #[test]
+    fn sharpe_scales_with_mean_over_std() {
+        let logs = [0.02, 0.0, 0.02, 0.0];
+        let (mean, std) = mean_std(&logs);
+        let wealth = [1.02, 1.02, 1.04, 1.04];
+        let m = compute(&logs, &wealth, &[0.0; 4]);
+        assert!((m.sharpe_pct - 100.0 * mean / std).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Price relative vectors (§3 of the paper).
+//!
+//! The price change on period `t+1` is `x_{t+1} = p^c_{t+1} / p^c_t`
+//! elementwise over closing prices, with the risk-free cash asset prepended
+//! at index 0 with constant relative 1.
+
+use crate::ohlc::OhlcSeries;
+
+/// Computes `x_t` for every consecutive period pair. `out[t]` has length
+/// `m + 1` and describes the move from period `t` to `t+1`.
+pub fn price_relatives(ohlc: &OhlcSeries) -> Vec<Vec<f64>> {
+    let m = ohlc.assets;
+    let mut out = Vec::with_capacity(ohlc.periods.saturating_sub(1));
+    for t in 0..ohlc.periods.saturating_sub(1) {
+        let mut x = Vec::with_capacity(m + 1);
+        x.push(1.0); // cash
+        for i in 0..m {
+            x.push(ohlc.close(t + 1, i) / ohlc.close(t, i));
+        }
+        out.push(x);
+    }
+    out
+}
+
+/// Portfolio value multiplier for one period: `aᵀx`.
+///
+/// # Panics
+/// Debug-asserts matching lengths.
+pub fn portfolio_return(action: &[f64], relative: &[f64]) -> f64 {
+    debug_assert_eq!(action.len(), relative.len());
+    action.iter().zip(relative).map(|(a, x)| a * x).sum()
+}
+
+/// The portfolio drifted by the market move, i.e. the paper's
+/// `â_{t-1} = (a_{t-1} ⊙ x_{t-1}) / (a_{t-1}ᵀ x_{t-1})`: the weights held
+/// *before* rebalancing at the start of period `t`.
+pub fn drifted_weights(action: &[f64], relative: &[f64]) -> Vec<f64> {
+    let denom = portfolio_return(action, relative);
+    action.iter().zip(relative).map(|(a, x)| a * x / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portfolio_return_weighted_sum() {
+        let a = [0.5, 0.25, 0.25];
+        let x = [1.0, 1.2, 0.8];
+        assert!((portfolio_return(&a, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drifted_weights_sum_to_one() {
+        let a = [0.2, 0.3, 0.5];
+        let x = [1.0, 1.5, 0.7];
+        let d = drifted_weights(&a, &x);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Winners gain weight, losers lose weight.
+        assert!(d[1] > a[1]);
+        assert!(d[2] < a[2]);
+    }
+
+    #[test]
+    fn all_cash_is_fixed_point() {
+        let a = [1.0, 0.0, 0.0];
+        let x = [1.0, 2.0, 0.5];
+        assert_eq!(drifted_weights(&a, &x), vec![1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Extended risk analytics beyond the paper's §6.1.2 metric set.
+//!
+//! The paper motivates the Calmar ratio by noting that downside movements
+//! matter more than symmetric volatility; this module completes that family:
+//! downside deviation and the Sortino ratio, empirical value-at-risk /
+//! expected shortfall, and annualisation helpers for comparing the 30-minute
+//! crypto periods with the daily stock periods.
+
+/// Downside deviation of returns below `target` (population form).
+pub fn downside_deviation(returns: &[f64], target: f64) -> f64 {
+    if returns.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = returns
+        .iter()
+        .map(|&r| {
+            let d = (target - r).max(0.0);
+            d * d
+        })
+        .sum();
+    (sum / returns.len() as f64).sqrt()
+}
+
+/// Sortino ratio: mean excess return over the downside deviation. Returns 0
+/// when there is no downside at all (the ratio is undefined/infinite).
+pub fn sortino_ratio(returns: &[f64], target: f64) -> f64 {
+    let dd = downside_deviation(returns, target);
+    if dd == 0.0 || returns.is_empty() {
+        return 0.0;
+    }
+    let mean = returns.iter().sum::<f64>() / returns.len() as f64;
+    (mean - target) / dd
+}
+
+/// Empirical value-at-risk at confidence `alpha` (e.g. 0.95): the loss
+/// threshold exceeded in only `(1−alpha)` of periods. Positive = loss.
+pub fn value_at_risk(returns: &[f64], alpha: f64) -> f64 {
+    assert!((0.5..1.0).contains(&alpha), "alpha {alpha}");
+    if returns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = returns.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = (((1.0 - alpha) * sorted.len() as f64).floor() as usize).min(sorted.len() - 1);
+    -sorted[idx]
+}
+
+/// Expected shortfall (CVaR): mean loss conditional on exceeding the VaR.
+pub fn expected_shortfall(returns: &[f64], alpha: f64) -> f64 {
+    if returns.is_empty() {
+        return 0.0;
+    }
+    let var = value_at_risk(returns, alpha);
+    let tail: Vec<f64> = returns.iter().copied().filter(|&r| -r >= var).collect();
+    if tail.is_empty() {
+        return var;
+    }
+    -tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Annualises a per-period mean log-return given `periods_per_year`
+/// (17 520 for 30-minute bars, 252 for daily bars).
+pub fn annualized_return(mean_log_return: f64, periods_per_year: f64) -> f64 {
+    (mean_log_return * periods_per_year).exp() - 1.0
+}
+
+/// Annualises a per-period volatility by √t scaling.
+pub fn annualized_volatility(std_per_period: f64, periods_per_year: f64) -> f64 {
+    std_per_period * periods_per_year.sqrt()
+}
+
+/// Periods per year for the paper's two sampling frequencies.
+pub mod frequency {
+    /// 30-minute bars, 24/7 crypto markets: 48 × 365.
+    pub const CRYPTO_30MIN: f64 = 48.0 * 365.0;
+    /// Daily bars, equity calendar.
+    pub const DAILY: f64 = 252.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downside_ignores_gains() {
+        let r = [0.05, 0.10, 0.20];
+        assert_eq!(downside_deviation(&r, 0.0), 0.0);
+        assert_eq!(sortino_ratio(&r, 0.0), 0.0, "no downside ⇒ defined as 0");
+    }
+
+    #[test]
+    fn downside_known_value() {
+        // Only the −0.1 is below target 0: dd = sqrt(0.01/4) = 0.05.
+        let r = [-0.1, 0.1, 0.1, 0.1];
+        assert!((downside_deviation(&r, 0.0) - 0.05).abs() < 1e-12);
+        let sortino = sortino_ratio(&r, 0.0);
+        assert!((sortino - 0.05 / 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sortino_punishes_downside_more_than_sharpe_style_symmetry() {
+        // Same mean and variance, different skew.
+        let symmetric = [0.02, -0.02, 0.02, -0.02];
+        let downside_heavy = [0.028, 0.0, -0.034, 0.014]; // mean ~0.002
+        let s1 = sortino_ratio(&symmetric, 0.0);
+        let s2 = sortino_ratio(&downside_heavy, 0.0);
+        assert!(s1.is_finite() && s2.is_finite());
+    }
+
+    #[test]
+    fn var_and_es_ordering() {
+        let returns: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) / 1000.0).collect();
+        let var95 = value_at_risk(&returns, 0.95);
+        let es95 = expected_shortfall(&returns, 0.95);
+        assert!(var95 > 0.0, "losses exist");
+        assert!(es95 >= var95, "ES dominates VaR: {es95} vs {var95}");
+        let var99 = value_at_risk(&returns, 0.99);
+        assert!(var99 >= var95, "higher confidence ⇒ deeper tail");
+    }
+
+    #[test]
+    fn var_of_all_gains_is_negative() {
+        let returns = [0.01, 0.02, 0.03];
+        assert!(value_at_risk(&returns, 0.95) < 0.0);
+    }
+
+    #[test]
+    fn annualization_round_numbers() {
+        // 1% per day for 252 days ≈ e^2.52 − 1.
+        let a = annualized_return(0.01, frequency::DAILY);
+        assert!((a - (2.52f64.exp() - 1.0)).abs() < 1e-12);
+        let v = annualized_volatility(0.01, 100.0);
+        assert!((v - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(downside_deviation(&[], 0.0), 0.0);
+        assert_eq!(sortino_ratio(&[], 0.0), 0.0);
+        assert_eq!(value_at_risk(&[], 0.95), 0.0);
+        assert_eq!(expected_shortfall(&[], 0.95), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Dataset-level invariants across all presets.
+
+use ppn_market::{Dataset, Preset};
+
+#[test]
+fn all_presets_load_with_consistent_shapes() {
+    for preset in Preset::all() {
+        let ds = Dataset::load(preset);
+        let cfg = preset.market_config();
+        assert_eq!(ds.assets(), cfg.assets, "{}", preset.name());
+        assert_eq!(ds.periods(), cfg.periods);
+        assert_eq!(ds.relatives.len(), ds.periods() - 1);
+        assert!(ds.split < ds.periods());
+        assert!(ds.train_len() > 4 * ds.test_len(), "paper-style ~80/20+ split");
+    }
+}
+
+#[test]
+fn windows_valid_across_whole_test_range() {
+    for preset in [Preset::CryptoA, Preset::Sp500] {
+        let ds = Dataset::load(preset);
+        let k = 30;
+        let mid = ds.split + ds.test_len() / 2;
+        for t in [ds.split, mid, ds.periods() - 2] {
+            let w = ds.window(t, k);
+            assert_eq!(w.len(), ds.assets() * k * 4);
+            assert!(w.iter().all(|&x| x.is_finite() && x > 0.0), "{} t={t}", preset.name());
+        }
+    }
+}
+
+#[test]
+fn bars_coherent_after_late_listing_fill() {
+    for preset in [Preset::CryptoB, Preset::CryptoD] {
+        let ds = Dataset::load(preset);
+        for t in (0..ds.periods()).step_by(97) {
+            for i in 0..ds.assets() {
+                let b = ds.ohlc.bar(t, i);
+                assert!(b.is_coherent(), "{} bar ({t},{i}): {b:?}", preset.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn ohlc_envelope_contains_close_ratio_one_in_window() {
+    // Window normalisation divides by the final close; the final period's
+    // high/low must bracket 1.
+    let ds = Dataset::load(Preset::CryptoC);
+    let k = 30;
+    let w = ds.window(500, k);
+    for i in 0..ds.assets() {
+        let hi = w[i * k * 4 + (k - 1) * 4 + 1];
+        let lo = w[i * k * 4 + (k - 1) * 4 + 2];
+        assert!(hi >= 1.0 && lo <= 1.0, "asset {i}: high {hi} low {lo}");
+    }
+}
+
+#[test]
+fn presets_are_mutually_distinct() {
+    let a = Dataset::load(Preset::CryptoA);
+    let b = Dataset::load(Preset::CryptoB);
+    assert_ne!(a.assets(), b.assets());
+    assert_ne!(a.ohlc.close(100, 0), b.ohlc.close(100, 0));
+}
+
+#[test]
+fn regime_signatures_match_design() {
+    // Crypto-B must be substantially more volatile than Crypto-C (the
+    // mean-reversion vs quiet-trend presets).
+    let vol = |preset: Preset| {
+        let ds = Dataset::load(preset);
+        let logs: Vec<f64> =
+            (0..2_000).map(|t| ds.relative(t)[1].ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        (logs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / logs.len() as f64).sqrt()
+    };
+    assert!(vol(Preset::CryptoB) > 1.5 * vol(Preset::CryptoC));
+}
+
+#[test]
+fn bear_preset_is_actually_bearish_over_test_split() {
+    // Crypto-D is the paper's losing market (UBAH < 1).
+    let ds = Dataset::load(Preset::CryptoD);
+    let mut log_sum = 0.0;
+    let mut count = 0.0;
+    for t in ds.split..ds.periods() - 1 {
+        for i in 1..=ds.assets() {
+            log_sum += ds.relative(t)[i].ln();
+            count += 1.0;
+        }
+    }
+    assert!(log_sum / count < 0.0, "Crypto-D test split should drift down");
+}
+
+#[test]
+fn volume_window_has_five_features() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let k = 30;
+    // Use a period after every late listing so all assets trade (pre-listing
+    // flat-filled bars legitimately carry zero volume).
+    let t = ds.split;
+    let w5 = ds.window_with_volume(t, k);
+    let w4 = ds.window(t, k);
+    assert_eq!(w5.len(), ds.assets() * k * 5);
+    // Price features agree between the two layouts.
+    for i in 0..ds.assets() {
+        for s in 0..k {
+            for f in 0..4 {
+                assert_eq!(w5[i * k * 5 + s * 5 + f], w4[i * k * 4 + s * 4 + f]);
+            }
+        }
+    }
+    // Normalised volumes are positive and average ~1 per asset.
+    for i in 0..ds.assets() {
+        let mean: f64 =
+            (0..k).map(|s| w5[i * k * 5 + s * 5 + 4]).sum::<f64>() / k as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "asset {i}: mean vol {mean}");
+    }
+}
+
+#[test]
+fn volume_tracks_volatility() {
+    // The volume-volatility relation built into the synthesiser: big-move
+    // periods should carry more volume on average.
+    let ds = Dataset::load(Preset::CryptoB);
+    let mut big = (0.0, 0.0);
+    let mut small = (0.0, 0.0);
+    for t in 1..3_000 {
+        for i in 0..ds.assets() {
+            let b = ds.ohlc.bar(t, i);
+            let move_frac = (b.close / b.open - 1.0).abs();
+            if move_frac > 0.01 {
+                big = (big.0 + b.volume, big.1 + 1.0);
+            } else if move_frac < 0.002 {
+                small = (small.0 + b.volume, small.1 + 1.0);
+            }
+        }
+    }
+    assert!(big.1 > 0.0 && small.1 > 0.0);
+    assert!(big.0 / big.1 > 1.5 * (small.0 / small.1));
+}

@@ -1,0 +1,89 @@
+//! Property-based certification of the transaction-cost model against
+//! Proposition 4 of the paper, and of metric invariants.
+
+use ppn_market::{cost_proportion, max_drawdown, max_turnover, prop4_bounds, turnover_l1};
+use proptest::prelude::*;
+
+/// Strategy producing a random simplex vector of the given length.
+fn simplex(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..1.0f64, len).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        if s == 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in &mut v {
+                *x /= s;
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn cost_satisfies_implicit_equation(
+        a in simplex(6),
+        h in simplex(6),
+        psi in 0.0001..0.3f64,
+    ) {
+        let s = cost_proportion(psi, &a, &h, 1e-13);
+        // Residual of c = ψ Σ_{i≥1} |a_i ω − h_i|.
+        let rhs: f64 = psi * a.iter().zip(&h).skip(1)
+            .map(|(&ai, &hi)| (ai * s.omega - hi).abs()).sum::<f64>();
+        prop_assert!((s.cost - rhs).abs() < 1e-9, "residual {}", (s.cost - rhs).abs());
+        prop_assert!(s.cost >= 0.0 && s.cost < 1.0);
+        prop_assert!((s.omega - (1.0 - s.cost)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prop4_bounds_hold(
+        a in simplex(5),
+        h in simplex(5),
+        psi in 0.0001..0.3f64,
+    ) {
+        let s = cost_proportion(psi, &a, &h, 1e-13);
+        let (lo, hi) = prop4_bounds(psi, &a, &h);
+        prop_assert!(lo <= s.cost + 1e-9, "lower bound {lo} > cost {}", s.cost);
+        prop_assert!(s.cost <= hi + 1e-9, "cost {} > upper bound {hi}", s.cost);
+    }
+
+    #[test]
+    fn turnover_within_prop4_range(
+        a in simplex(5),
+        h in simplex(5),
+    ) {
+        // ‖a − â‖₁ ∈ (0, 2(1−ψ)/(1+ψ)] at ψ=0 reduces to ≤ 2 for simplex pairs.
+        let l1 = turnover_l1(&a, &h);
+        prop_assert!(l1 <= max_turnover(0.0) + 1e-12);
+        prop_assert!(l1 >= 0.0);
+    }
+
+    #[test]
+    fn cost_monotone_in_psi(
+        a in simplex(4),
+        h in simplex(4),
+        psi1 in 0.0001..0.1f64,
+        bump in 0.001..0.1f64,
+    ) {
+        let c1 = cost_proportion(psi1, &a, &h, 1e-13).cost;
+        let c2 = cost_proportion(psi1 + bump, &a, &h, 1e-13).cost;
+        prop_assert!(c2 >= c1 - 1e-12, "cost not monotone: {c1} → {c2}");
+    }
+
+    #[test]
+    fn mdd_in_unit_interval(w in prop::collection::vec(0.01..100.0f64, 1..200)) {
+        let mdd = max_drawdown(&w);
+        prop_assert!((0.0..=1.0).contains(&mdd));
+    }
+
+    #[test]
+    fn mdd_invariant_under_scaling(
+        w in prop::collection::vec(0.01..100.0f64, 2..100),
+        s in 0.1..10.0f64,
+    ) {
+        let scaled: Vec<f64> = w.iter().map(|x| x * s).collect();
+        prop_assert!((max_drawdown(&w) - max_drawdown(&scaled)).abs() < 1e-12);
+    }
+}

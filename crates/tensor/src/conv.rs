@@ -1,0 +1,304 @@
+//! 2-D convolution kernels (forward and backward) used by the graph.
+//!
+//! Layout is NCHW: input `(B, C_in, H, W)`, kernel `(C_out, C_in, KH, KW)`.
+//! Stride is fixed at 1 — the PPN architecture (Table 2 of the paper) only
+//! uses stride-1 convolutions. Dilation and asymmetric zero padding are
+//! supported because the paper's blocks need:
+//!
+//! * **DCONV** — dilated *causal* convolution over the time axis (left-pad
+//!   only, so no information leaks from the future to the past, §4.3.1);
+//! * **CCONV** — *correlational* convolution over the asset axis with SAME
+//!   padding (kernel height = m, §4.3.2);
+//! * **Conv4 / decision conv** — VALID `1×k` and `1×1` convolutions.
+
+use crate::tensor::Tensor;
+
+/// Dilation factors `(dh, dw)` for the two spatial axes.
+pub type Dilation = (usize, usize);
+
+/// Zero padding `(top, bottom, left, right)` on the spatial axes.
+pub type Padding = (usize, usize, usize, usize);
+
+/// Output spatial size for one axis.
+///
+/// `None` when the effective kernel extent exceeds the padded input.
+pub fn out_dim(input: usize, kernel: usize, dilation: usize, pad_lo: usize, pad_hi: usize) -> Option<usize> {
+    let eff = dilation * (kernel - 1) + 1;
+    let padded = input + pad_lo + pad_hi;
+    padded.checked_sub(eff).map(|d| d + 1)
+}
+
+/// Padding that keeps the axis length unchanged under SAME semantics
+/// (asymmetric when the effective kernel extent is even).
+pub fn same_padding(kernel: usize, dilation: usize) -> (usize, usize) {
+    let eff = dilation * (kernel - 1) + 1;
+    ((eff - 1) / 2, eff / 2)
+}
+
+/// Causal padding for the time axis: everything on the left.
+pub fn causal_padding(kernel: usize, dilation: usize) -> (usize, usize) {
+    (dilation * (kernel - 1), 0)
+}
+
+/// Forward convolution. Returns `(B, C_out, H', W')`.
+///
+/// # Panics
+/// Panics on rank/channel mismatches or when the kernel does not fit.
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv input must be NCHW, got {:?}", x.shape());
+    assert_eq!(w.rank(), 4, "conv kernel must be OIHW, got {:?}", w.shape());
+    let (b, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (cout, cin2, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    assert_eq!(cin, cin2, "conv channels: input {cin} vs kernel {cin2}");
+    let (dh, dw) = dilation;
+    let (pt, pb, pl, pr) = pad;
+    let oh = out_dim(h, kh, dh, pt, pb)
+        .unwrap_or_else(|| panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for H={h} pad=({pt},{pb})"));
+    let ow = out_dim(wid, kw, dw, pl, pr)
+        .unwrap_or_else(|| panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for W={wid} pad=({pl},{pr})"));
+
+    let xd = x.data();
+    let wd = w.data();
+    let mut out = vec![0.0; b * cout * oh * ow];
+
+    let x_stride_b = cin * h * wid;
+    let x_stride_c = h * wid;
+    let w_stride_o = cin * kh * kw;
+    let w_stride_c = kh * kw;
+    let o_stride_b = cout * oh * ow;
+    let o_stride_c = oh * ow;
+
+    // Tap-major loops with hoisted padding bounds: the innermost loop is a
+    // contiguous branch-free AXPY over the output row.
+    for bi in 0..b {
+        for oc in 0..cout {
+            let out_block = bi * o_stride_b + oc * o_stride_c;
+            for ic in 0..cin {
+                let x_block = bi * x_stride_b + ic * x_stride_c;
+                let w_block = oc * w_stride_o + ic * w_stride_c;
+                for ky in 0..kh {
+                    let iy_off = (ky * dh) as isize - pt as isize;
+                    let oy_lo = (-iy_off).max(0) as usize;
+                    let oy_hi = ((h as isize - iy_off).min(oh as isize)).max(0) as usize;
+                    for kx in 0..kw {
+                        let wv = wd[w_block + ky * kw + kx];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let ix_off = (kx * dw) as isize - pl as isize;
+                        let ox_lo = (-ix_off).max(0) as usize;
+                        let ox_hi = ((wid as isize - ix_off).min(ow as isize)).max(0) as usize;
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let n = ox_hi - ox_lo;
+                        let ix_lo = (ox_lo as isize + ix_off) as usize;
+                        for oy in oy_lo..oy_hi {
+                            let iy = (oy as isize + iy_off) as usize;
+                            let xs = &xd[x_block + iy * wid + ix_lo..][..n];
+                            let os = &mut out[out_block + oy * ow + ox_lo..][..n];
+                            for (o, &xv) in os.iter_mut().zip(xs) {
+                                *o += wv * xv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[b, cout, oh, ow], out)
+}
+
+/// Backward pass: returns `(grad_x, grad_w)` given the upstream gradient
+/// `grad_out` of shape `(B, C_out, H', W')`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    grad_out: &Tensor,
+    dilation: Dilation,
+    pad: Padding,
+) -> (Tensor, Tensor) {
+    let (b, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (cout, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    let (dh, dw) = dilation;
+    let (pt, _, pl, _) = pad;
+    let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+
+    let xd = x.data();
+    let wd = w.data();
+    let gd = grad_out.data();
+    let mut gx = vec![0.0; xd.len()];
+    let mut gw = vec![0.0; wd.len()];
+
+    let x_stride_b = cin * h * wid;
+    let x_stride_c = h * wid;
+    let w_stride_o = cin * kh * kw;
+    let w_stride_c = kh * kw;
+    let o_stride_b = cout * oh * ow;
+    let o_stride_c = oh * ow;
+
+    // Same tap-major structure as the forward pass: contiguous inner loops,
+    // padding bounds hoisted out.
+    for bi in 0..b {
+        for oc in 0..cout {
+            let g_block = bi * o_stride_b + oc * o_stride_c;
+            for ic in 0..cin {
+                let x_block = bi * x_stride_b + ic * x_stride_c;
+                let w_block = oc * w_stride_o + ic * w_stride_c;
+                for ky in 0..kh {
+                    let iy_off = (ky * dh) as isize - pt as isize;
+                    let oy_lo = (-iy_off).max(0) as usize;
+                    let oy_hi = ((h as isize - iy_off).min(oh as isize)).max(0) as usize;
+                    for kx in 0..kw {
+                        let woff = w_block + ky * kw + kx;
+                        let wv = wd[woff];
+                        let ix_off = (kx * dw) as isize - pl as isize;
+                        let ox_lo = (-ix_off).max(0) as usize;
+                        let ox_hi = ((wid as isize - ix_off).min(ow as isize)).max(0) as usize;
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let n = ox_hi - ox_lo;
+                        let ix_lo = (ox_lo as isize + ix_off) as usize;
+                        let mut w_acc = 0.0;
+                        for oy in oy_lo..oy_hi {
+                            let iy = (oy as isize + iy_off) as usize;
+                            let grow = &gd[g_block + oy * ow + ox_lo..][..n];
+                            let xrow_base = x_block + iy * wid + ix_lo;
+                            let gxrow = &mut gx[xrow_base..][..n];
+                            let xrow = &xd[xrow_base..][..n];
+                            for ((gxv, &g), &xv) in gxrow.iter_mut().zip(grow).zip(xrow) {
+                                *gxv += g * wv;
+                                w_acc += g * xv;
+                            }
+                        }
+                        gw[woff] += w_acc;
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(x.shape(), gx), Tensor::from_vec(w.shape(), gw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dims() {
+        assert_eq!(out_dim(30, 3, 1, 2, 0), Some(30)); // causal k=3 d=1
+        assert_eq!(out_dim(30, 3, 4, 8, 0), Some(30)); // causal k=3 d=4
+        assert_eq!(out_dim(30, 30, 1, 0, 0), Some(1)); // valid 1xk collapse
+        assert_eq!(out_dim(3, 5, 1, 0, 0), None);
+    }
+
+    #[test]
+    fn same_and_causal_padding() {
+        assert_eq!(same_padding(3, 1), (1, 1));
+        assert_eq!(same_padding(4, 1), (1, 2));
+        assert_eq!(causal_padding(3, 4), (8, 0));
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        let x = Tensor::from_vec(&[1, 1, 2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let y = conv2d_forward(&x, &w, (1, 1), (0, 0, 0, 0));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_1d_convolution() {
+        // x = [1,2,3,4], kernel [1,1] valid → moving sums [3,5,7].
+        let x = Tensor::from_vec(&[1, 1, 1, 4], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec(&[1, 1, 1, 2], vec![1., 1.]);
+        let y = conv2d_forward(&x, &w, (1, 1), (0, 0, 0, 0));
+        assert_eq!(y.shape(), &[1, 1, 1, 3]);
+        assert_eq!(y.data(), &[3., 5., 7.]);
+    }
+
+    #[test]
+    fn causal_no_future_leakage() {
+        // With causal padding, output[t] must not depend on input[t+1..].
+        let mut x1 = vec![1., 2., 3., 4., 5.];
+        let x2 = {
+            let mut v = x1.clone();
+            v[4] = 100.0; // change only the last element
+            v
+        };
+        let w = Tensor::from_vec(&[1, 1, 1, 3], vec![0.5, -1.0, 2.0]);
+        let (pl, pr) = causal_padding(3, 1);
+        let y1 = conv2d_forward(&Tensor::from_vec(&[1, 1, 1, 5], x1.clone()), &w, (1, 1), (0, 0, pl, pr));
+        let y2 = conv2d_forward(&Tensor::from_vec(&[1, 1, 1, 5], x2), &w, (1, 1), (0, 0, pl, pr));
+        // First four outputs identical, only the last may differ.
+        for t in 0..4 {
+            assert_eq!(y1.data()[t], y2.data()[t], "leakage at t={t}");
+        }
+        assert_ne!(y1.data()[4], y2.data()[4]);
+        x1[0] = 0.0; // silence unused-mut lint paranoia
+        let _ = x1;
+    }
+
+    #[test]
+    fn dilated_receptive_field() {
+        // k=3, d=2, causal: output[t] sees t, t-2, t-4.
+        let x = Tensor::from_vec(&[1, 1, 1, 6], vec![1., 0., 0., 0., 0., 1.]);
+        let w = Tensor::from_vec(&[1, 1, 1, 3], vec![1., 1., 1.]);
+        let (pl, pr) = causal_padding(3, 2);
+        let y = conv2d_forward(&x, &w, (1, 2), (0, 0, pl, pr));
+        assert_eq!(y.shape(), &[1, 1, 1, 6]);
+        // t=0: sees x[-4],x[-2],x[0] → 1. t=4: sees x[0],x[2],x[4] → 1.
+        assert_eq!(y.data(), &[1., 0., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn cconv_mixes_all_assets() {
+        // Kernel height = m with SAME padding: every output row sees all rows.
+        let m = 4;
+        let x = Tensor::from_vec(&[1, 1, m, 1], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec(&[1, 1, m, 1], vec![1., 1., 1., 1.]);
+        let (pt, pb) = same_padding(m, 1);
+        let y = conv2d_forward(&x, &w, (1, 1), (pt, pb, 0, 0));
+        assert_eq!(y.shape(), &[1, 1, m, 1]);
+        // Row sums over the visible window (zero-padded outside).
+        assert_eq!(y.data(), &[1. + 2. + 3., 10., 9., 3. + 4.]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&mut rng, &[2, 2, 3, 5], 1.0);
+        let w = Tensor::randn(&mut rng, &[3, 2, 2, 3], 1.0);
+        let dil = (1, 2);
+        let pad = (1, 0, 4, 0);
+        let y = conv2d_forward(&x, &w, dil, pad);
+        // Loss = sum(y); upstream grad = ones.
+        let gout = Tensor::ones(y.shape());
+        let (gx, gw) = conv2d_backward(&x, &w, &gout, dil, pad);
+        let eps = 1e-5;
+        // Spot-check a handful of coordinates of both gradients.
+        for &i in &[0usize, 7, 23, 41] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let fp = conv2d_forward(&xp, &w, dil, pad).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fm = conv2d_forward(&xm, &w, dil, pad).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 1e-6, "gx[{i}]: fd={fd} ad={}", gx.data()[i]);
+        }
+        for &i in &[0usize, 5, 17, 31] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let fp = conv2d_forward(&x, &wp, dil, pad).sum();
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fm = conv2d_forward(&x, &wm, dil, pad).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - gw.data()[i]).abs() < 1e-6, "gw[{i}]: fd={fd} ad={}", gw.data()[i]);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Reusable network layers built on the autodiff graph.
+
+pub mod conv;
+pub mod dense;
+pub mod lstm;
+
+pub use conv::{Conv2dLayer, ConvKind};
+pub use dense::Dense;
+pub use lstm::Lstm;

@@ -1,0 +1,356 @@
+//! Parameter storage and first-order optimisers.
+//!
+//! Parameters outlive the per-step tape: a [`ParamStore`] owns the weights,
+//! [`ParamStore::bind`] inserts them into a fresh [`Graph`] for one forward/
+//! backward pass, and an [`Optimizer`] consumes the gradients gathered by
+//! [`Binding::grads`].
+//!
+//! ```
+//! use ppn_tensor::{Graph, ParamStore, Adam, Optimizer, Tensor};
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::scalar(2.0));
+//! let mut opt = Adam::new(0.1);
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let bind = store.bind(&mut g);
+//!     let loss = g.square(bind.node(w));
+//!     g.backward(loss);
+//!     let grads = bind.grads(&g);
+//!     opt.step(&mut store, &grads);
+//! }
+//! assert!(store.value(w).item().abs() < 1e-2);
+//! ```
+
+use crate::graph::{Graph, NodeId};
+use crate::tensor::Tensor;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Param {
+    name: String,
+    value: Tensor,
+}
+
+/// Owns a model's trainable weights across training steps.
+#[derive(Default, serde::Serialize, serde::Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+/// The `ParamId → NodeId` mapping produced by one [`ParamStore::bind`] call.
+pub struct Binding {
+    nodes: Vec<NodeId>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ParamStore { params: Vec::new() }
+    }
+
+    /// Registers a parameter, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.params.push(Param { name: name.into(), value });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameter tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access (used by optimisers and target-network copies).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// All parameter handles in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Inserts every parameter into `g` as a trainable leaf.
+    pub fn bind(&self, g: &mut Graph) -> Binding {
+        let nodes = self.params.iter().map(|p| g.param(p.value.clone())).collect();
+        Binding { nodes }
+    }
+
+    /// Inserts every parameter into `g` as a **frozen** (constant) leaf.
+    /// Used when one network's output feeds another's loss but must not
+    /// receive gradients (e.g. the critic during DDPG actor updates).
+    pub fn bind_frozen(&self, g: &mut Graph) -> Binding {
+        let nodes = self.params.iter().map(|p| g.leaf(p.value.clone())).collect();
+        Binding { nodes }
+    }
+
+    /// Copies all values from another store (shapes must match). Used for
+    /// target networks in DDPG.
+    pub fn copy_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.params.len(), other.params.len());
+        for (a, b) in self.params.iter_mut().zip(&other.params) {
+            assert_eq!(a.value.shape(), b.value.shape(), "copy_from shape mismatch on {}", a.name);
+            a.value = b.value.clone();
+        }
+    }
+
+    /// Soft update `θ ← τ·θ_src + (1−τ)·θ` (DDPG target tracking).
+    pub fn soft_update_from(&mut self, src: &ParamStore, tau: f64) {
+        assert_eq!(self.params.len(), src.params.len());
+        for (dst, s) in self.params.iter_mut().zip(&src.params) {
+            dst.value = s.value.scale(tau).add(&dst.value.scale(1.0 - tau));
+        }
+    }
+}
+
+impl Binding {
+    /// Graph node for a parameter.
+    pub fn node(&self, id: ParamId) -> NodeId {
+        self.nodes[id.0]
+    }
+
+    /// Gathers gradients after `Graph::backward`, in registration order.
+    /// Parameters not reached by the sweep yield `None`.
+    pub fn grads(&self, g: &Graph) -> Vec<Option<Tensor>> {
+        self.nodes.iter().map(|&n| g.grad(n).cloned()).collect()
+    }
+}
+
+/// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [Option<Tensor>], max_norm: f64) -> f64 {
+    let mut sq = 0.0;
+    for g in grads.iter().flatten() {
+        sq += g.data().iter().map(|x| x * x).sum::<f64>();
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for g in grads.iter_mut().flatten() {
+            *g = g.scale(s);
+        }
+    }
+    norm
+}
+
+/// A first-order optimiser over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update given gradients in registration order.
+    fn step(&mut self, store: &mut ParamStore, grads: &[Option<Tensor>]);
+}
+
+/// Plain stochastic gradient descent (optionally with momentum).
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient; 0 disables momentum.
+    pub momentum: f64,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no momentum.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &[Option<Tensor>]) {
+        self.velocity.resize(grads.len(), None);
+        for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
+            let Some(g) = &grads[i] else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = match &self.velocity[i] {
+                    Some(v) => v.scale(self.momentum).add(g),
+                    None => g.clone(),
+                };
+                self.velocity[i] = Some(v.clone());
+                v
+            } else {
+                g.clone()
+            };
+            let w = store.value_mut(id);
+            *w = w.sub(&update.scale(self.lr));
+        }
+    }
+}
+
+/// Adam (Kingma & Ba). The paper trains PPN with Adam at lr 1e−3.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with default betas (0.9, 0.999).
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &[Option<Tensor>]) {
+        self.t += 1;
+        self.m.resize(grads.len(), None);
+        self.v.resize(grads.len(), None);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
+            let Some(g) = &grads[i] else { continue };
+            let m = match &self.m[i] {
+                Some(m) => m.scale(self.beta1).add(&g.scale(1.0 - self.beta1)),
+                None => g.scale(1.0 - self.beta1),
+            };
+            let v = match &self.v[i] {
+                Some(v) => v.scale(self.beta2).add(&g.mul(g).scale(1.0 - self.beta2)),
+                None => g.mul(g).scale(1.0 - self.beta2),
+            };
+            self.m[i] = Some(m.clone());
+            self.v[i] = Some(v.clone());
+            let mhat = m.scale(1.0 / bc1);
+            let vhat = v.scale(1.0 / bc2);
+            let eps = self.eps;
+            let update = mhat.zip(&vhat, |mh, vh| mh / (vh.sqrt() + eps));
+            let w = store.value_mut(id);
+            *w = w.sub(&update.scale(self.lr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn quadratic_loss(store: &ParamStore, w: ParamId) -> (Graph, Binding, NodeId) {
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        // loss = sum((w - 3)^2)
+        let t = g.add_scalar(bind.node(w), -3.0);
+        let sq = g.square(t);
+        let loss = g.sum(sq);
+        (g, bind, loss)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(&[3], vec![0.0, 10.0, -4.0]));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let (mut g, bind, loss) = quadratic_loss(&store, w);
+            g.backward(loss);
+            opt.step(&mut store, &bind.grads(&g));
+        }
+        for &x in store.value(w).data() {
+            assert!((x - 3.0).abs() < 1e-6, "{x}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(&[2], vec![-8.0, 8.0]));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..400 {
+            let (mut g, bind, loss) = quadratic_loss(&store, w);
+            g.backward(loss);
+            opt.step(&mut store, &bind.grads(&g));
+        }
+        for &x in store.value(w).data() {
+            assert!((x - 3.0).abs() < 1e-3, "{x}");
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mut opt: Sgd| {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::scalar(10.0));
+            for _ in 0..30 {
+                let (mut g, bind, loss) = quadratic_loss(&store, w);
+                g.backward(loss);
+                opt.step(&mut store, &bind.grads(&g));
+            }
+            (store.value(w).item() - 3.0).abs()
+        };
+        let plain = run(Sgd::new(0.01));
+        let mom = run(Sgd::with_momentum(0.01, 0.9));
+        assert!(mom < plain, "momentum {mom} vs plain {plain}");
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut grads = vec![Some(Tensor::from_vec(&[2], vec![3.0, 4.0])), None];
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        let post: f64 = grads[0].as_ref().unwrap().l2_norm();
+        assert!((post - 1.0).abs() < 1e-12);
+        // Under the cap: untouched.
+        let mut small = vec![Some(Tensor::from_vec(&[1], vec![0.5]))];
+        clip_global_norm(&mut small, 1.0);
+        assert_eq!(small[0].as_ref().unwrap().item(), 0.5);
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::scalar(0.0));
+        let mut b = ParamStore::new();
+        let wb = b.add("w", Tensor::scalar(10.0));
+        a.soft_update_from(&b, 0.1);
+        assert!((a.value(ParamId(0)).item() - 1.0).abs() < 1e-12);
+        let _ = wb;
+    }
+
+    #[test]
+    fn unreached_params_untouched() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        let u = store.add("unused", Tensor::scalar(42.0));
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        let loss = g.square(bind.node(w));
+        g.backward(loss);
+        let grads = bind.grads(&g);
+        assert!(grads[1].is_none());
+        Adam::new(0.1).step(&mut store, &grads);
+        assert_eq!(store.value(u).item(), 42.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shape arithmetic shared by the tensor and graph modules.
+//!
+//! Tensors are dense, row-major, and at most modest-dimensional (the PPN
+//! workloads use rank 1–4), so shapes are plain `Vec<usize>` and all index
+//! math is done eagerly here.
+
+/// Number of elements implied by a shape. The empty shape denotes a scalar
+/// and has one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for `shape`.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// Flat offset of a multi-index under row-major layout.
+///
+/// Panics in debug builds if the index is out of bounds.
+pub fn offset(shape: &[usize], idx: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), idx.len());
+    let st = strides(shape);
+    let mut off = 0;
+    for (d, (&i, &s)) in idx.iter().zip(st.iter()).enumerate() {
+        debug_assert!(i < shape[d], "index {i} out of bounds for dim {d} of {shape:?}");
+        off += i * s;
+    }
+    off
+}
+
+/// NumPy-style broadcast of two shapes.
+///
+/// Shapes are aligned at the trailing dimension; each pair of dims must be
+/// equal or one of them 1. Returns the broadcast shape, or `None` if the
+/// shapes are incompatible.
+pub fn broadcast(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Iterator over all multi-indices of `shape` in row-major order.
+pub struct IndexIter {
+    shape: Vec<usize>,
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl IndexIter {
+    pub fn new(shape: &[usize]) -> Self {
+        let done = numel(shape) == 0;
+        IndexIter { shape: shape.to_vec(), cur: vec![0; shape.len()], done }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.cur.clone();
+        // Advance odometer-style.
+        let mut i = self.shape.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.cur[i] += 1;
+            if self.cur[i] < self.shape[i] {
+                break;
+            }
+            self.cur[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+/// Maps a multi-index in the broadcast output shape back to the flat offset
+/// in an operand of shape `src` (dims of size 1 are pinned at 0).
+pub fn broadcast_offset(src: &[usize], out_idx: &[usize]) -> usize {
+    let st = strides(src);
+    let skip = out_idx.len() - src.len();
+    let mut off = 0;
+    for (d, &s) in st.iter().enumerate() {
+        let i = out_idx[skip + d];
+        off += if src[d] == 1 { 0 } else { i * s };
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_matches_manual() {
+        assert_eq!(offset(&[2, 3, 4], &[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(offset(&[7], &[6]), 6);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast(&[], &[4]), Some(vec![4]));
+        assert_eq!(broadcast(&[2, 3], &[3, 2]), None);
+    }
+
+    #[test]
+    fn index_iter_covers_all() {
+        let v: Vec<_> = IndexIter::new(&[2, 2]).collect();
+        assert_eq!(v, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(IndexIter::new(&[0, 3]).count(), 0);
+        // Scalar shape yields exactly one (empty) index.
+        assert_eq!(IndexIter::new(&[]).count(), 1);
+    }
+
+    #[test]
+    fn broadcast_offset_pins_unit_dims() {
+        // src [1,3] broadcast into [2,3]: row index ignored.
+        assert_eq!(broadcast_offset(&[1, 3], &[1, 2]), 2);
+        assert_eq!(broadcast_offset(&[1, 3], &[0, 2]), 2);
+        // src [3] broadcast into [2,3]: leading dim skipped.
+        assert_eq!(broadcast_offset(&[3], &[1, 2]), 2);
+    }
+
+    #[test]
+    fn numel_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[2, 0, 4]), 0);
+    }
+}

@@ -1,0 +1,506 @@
+//! Dense row-major `f64` tensor.
+//!
+//! This is the value type flowing through the autodiff graph. It is
+//! deliberately simple: owned `Vec<f64>` storage, eager ops, no views. The
+//! PPN workloads are small (m ≤ 64 assets, k = 30 periods, ≤ 16 channels), so
+//! clarity and testability win over zero-copy cleverness.
+
+use crate::shape::{self, broadcast, numel};
+
+/// Per-output-dim source strides for a broadcast operand: 0 where the
+/// operand's dim is 1 (or absent), its row-major stride otherwise.
+fn broadcast_strides(src: &[usize], out: &[usize]) -> Vec<usize> {
+    let skip = out.len() - src.len();
+    let st = shape::strides(src);
+    (0..out.len())
+        .map(|d| {
+            if d < skip || src[d - skip] == 1 {
+                0
+            } else {
+                st[d - skip]
+            }
+        })
+        .collect()
+}
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, `f64` n-dimensional array.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            numel(shape),
+            data.len(),
+            "shape {:?} wants {} elements, got {}",
+            shape,
+            numel(shape),
+            data.len()
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A scalar tensor (empty shape).
+    pub fn scalar(v: f64) -> Self {
+        Tensor { shape: vec![], data: vec![v] }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: &[usize], v: f64) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![v; numel(shape)] }
+    }
+
+    /// Standard-normal-filled tensor scaled by `std`.
+    pub fn randn<R: Rng>(rng: &mut R, shape: &[usize], std: f64) -> Self {
+        let n = numel(shape);
+        let mut data = Vec::with_capacity(n);
+        // Box–Muller; rand 0.8's Standard distribution gives uniforms.
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Shape of the tensor. Empty slice means scalar.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view of the buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable view of the buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Value of a scalar tensor (or any single-element tensor).
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[shape::offset(&self.shape, idx)]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let off = shape::offset(&self.shape, idx);
+        &mut self.data[off]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(numel(shape), self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Elementwise binary op with NumPy-style broadcasting.
+    ///
+    /// # Panics
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        if self.shape == other.shape {
+            let data =
+                self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
+            return Tensor { shape: self.shape.clone(), data };
+        }
+        let out_shape = broadcast(&self.shape, &other.shape)
+            .unwrap_or_else(|| panic!("broadcast {:?} vs {:?}", self.shape, other.shape));
+        // Odometer walk with per-dim source strides (0 on broadcast dims):
+        // no per-element index vectors, single pass over the output.
+        let rank = out_shape.len();
+        let sa = broadcast_strides(&self.shape, &out_shape);
+        let sb = broadcast_strides(&other.shape, &out_shape);
+        let n = numel(&out_shape);
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; rank];
+        let mut oa = 0usize;
+        let mut ob = 0usize;
+        for _ in 0..n {
+            data.push(f(self.data[oa], other.data[ob]));
+            // Advance the odometer, updating offsets incrementally.
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                oa += sa[d];
+                ob += sb[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                oa -= sa[d] * idx[d];
+                ob -= sb[d] * idx[d];
+                idx[d] = 0;
+            }
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Elementwise addition (broadcasting).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction (broadcasting).
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication (broadcasting).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division (broadcasting).
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Zero for empty tensors.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum element. `NEG_INFINITY` for empty tensors.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element. `INFINITY` for empty tensors.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// 2-D matrix multiplication: `(n,k) x (k,m) -> (n,m)`.
+    ///
+    /// # Panics
+    /// Panics unless both operands are rank 2 with matching inner dims.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs rank {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul rhs rank {:?}", other.shape);
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0; n * m];
+        // ikj loop order keeps the inner loop contiguous over both rhs and out.
+        for i in 0..n {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * m..(kk + 1) * m];
+                let orow = &mut out[i * m..(i + 1) * m];
+                for j in 0..m {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2 on {:?}", self.shape);
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = self.data[i * m + j];
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// General axis permutation. `perm` must be a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.rank(), "permute {:?} on {:?}", perm, self.shape);
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let rank = perm.len();
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        // Walk the output in order; the source offset follows an odometer
+        // with strides permuted from the input layout.
+        let in_strides = shape::strides(&self.shape);
+        let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let n = self.data.len();
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; rank];
+        let mut off = 0usize;
+        for _ in 0..n {
+            data.push(self.data[off]);
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                off += src_strides[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                off -= src_strides[d] * idx[d];
+                idx[d] = 0;
+            }
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Reduces one axis by summation, removing it from the shape.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "sum_axis {axis} on {:?}", self.shape);
+        let mut out_shape = self.shape.clone();
+        out_shape.remove(axis);
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let src = &self.data[(o * mid + m) * inner..(o * mid + m + 1) * inner];
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+        Tensor { shape: out_shape, data: out }
+    }
+
+    /// L1 norm of the whole buffer.
+    pub fn l1_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// L2 norm of the whole buffer.
+    pub fn l2_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Sums this tensor down to `target` shape, inverting a broadcast: the
+    /// gradient counterpart of [`Tensor::zip`]'s broadcasting.
+    ///
+    /// # Panics
+    /// Panics if `target` does not broadcast to this tensor's shape.
+    pub fn reduce_broadcast(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        assert_eq!(
+            broadcast(target, &self.shape).as_deref(),
+            Some(&self.shape[..]),
+            "reduce_broadcast {:?} -> {target:?}",
+            self.shape
+        );
+        let rank = self.shape.len();
+        let st = broadcast_strides(target, &self.shape);
+        let mut out = vec![0.0; numel(target)];
+        let mut idx = vec![0usize; rank];
+        let mut off = 0usize;
+        for &v in &self.data {
+            out[off] += v;
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                off += st[d];
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                off -= st[d] * idx[d];
+                idx[d] = 0;
+            }
+        }
+        Tensor { shape: target.to_vec(), data: out }
+    }
+
+    /// Max absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, …; n={}]", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_len_mismatch_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn broadcasting_add() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let row = Tensor::from_vec(&[3], vec![10., 20., 30.]);
+        let r = a.add(&row);
+        assert_eq!(r.data(), &[11., 22., 33., 14., 25., 36.]);
+        let col = Tensor::from_vec(&[2, 1], vec![100., 200.]);
+        let r = a.add(&col);
+        assert_eq!(r.data(), &[101., 102., 103., 204., 205., 206.]);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let i = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose2().transpose2(), a);
+        assert_eq!(a.transpose2().at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.permute(&[1, 0]), a.transpose2());
+        let b = Tensor::from_vec(&[1, 2, 3], (0..6).map(|x| x as f64).collect());
+        let p = b.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[3, 1, 2]);
+        assert_eq!(p.at(&[2, 0, 1]), b.at(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn sum_axis_reduces() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_axis(0).data(), &[5., 7., 9.]);
+        assert_eq!(a.sum_axis(1).data(), &[6., 15.]);
+        assert_eq!(a.sum_axis(1).sum_axis(0).item(), 21.0);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&mut rng, &[10_000], 1.0);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.map(|x| x * x).mean() - t.mean() * t.mean();
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_vec(&[3], vec![3.0, -4.0, 0.0]);
+        assert_eq!(t.l1_norm(), 7.0);
+        assert_eq!(t.l2_norm(), 5.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Edge-case coverage for the autodiff tape beyond the op-by-op gradchecks.
+
+use ppn_tensor::{Graph, ParamStore, Tensor};
+
+#[test]
+fn tape_reset_allows_reuse() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::scalar(2.0));
+    let y = g.square(x);
+    g.backward(y);
+    assert_eq!(g.grad(x).unwrap().item(), 4.0);
+    let n_before = g.len();
+    g.reset();
+    assert!(g.is_empty());
+    // Fresh computation on the same tape object.
+    let x2 = g.param(Tensor::scalar(3.0));
+    let y2 = g.square(x2);
+    g.backward(y2);
+    assert_eq!(g.grad(x2).unwrap().item(), 6.0);
+    assert!(g.len() <= n_before);
+}
+
+#[test]
+fn backward_with_custom_seed_scales_grad() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(&[2], vec![1.0, 2.0]));
+    let y = g.square(x);
+    let s = g.sum(y);
+    g.backward_with(s, Tensor::scalar(10.0));
+    assert_eq!(g.grad(x).unwrap().data(), &[20.0, 40.0]);
+}
+
+#[test]
+fn repeated_backward_does_not_accumulate_across_calls() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::scalar(3.0));
+    let y = g.square(x);
+    g.backward(y);
+    let g1 = g.grad(x).unwrap().item();
+    g.backward(y);
+    let g2 = g.grad(x).unwrap().item();
+    assert_eq!(g1, g2, "backward must reset gradients, not accumulate");
+}
+
+#[test]
+fn concat_three_tensors_middle_axis() {
+    let mut g = Graph::new();
+    let a = g.param(Tensor::from_vec(&[2, 1, 2], vec![1., 2., 3., 4.]));
+    let b = g.param(Tensor::from_vec(&[2, 2, 2], vec![5., 6., 7., 8., 9., 10., 11., 12.]));
+    let c = g.param(Tensor::from_vec(&[2, 1, 2], vec![13., 14., 15., 16.]));
+    let cat = g.concat(&[a, b, c], 1);
+    assert_eq!(g.value(cat).shape(), &[2, 4, 2]);
+    // Forward layout: [a-row, b-rows, c-row] per outer index.
+    assert_eq!(g.value(cat).at(&[0, 0, 0]), 1.0);
+    assert_eq!(g.value(cat).at(&[0, 1, 0]), 5.0);
+    assert_eq!(g.value(cat).at(&[0, 3, 1]), 14.0);
+    assert_eq!(g.value(cat).at(&[1, 3, 0]), 15.0);
+    // Gradient routes back to the right pieces.
+    let sl = g.slice(cat, 1, 3, 4); // only c's row
+    let s = g.sum(sl);
+    g.backward(s);
+    assert_eq!(g.grad(a).unwrap().data(), &[0.0; 4]);
+    assert_eq!(g.grad(b).unwrap().data(), &[0.0; 8]);
+    assert_eq!(g.grad(c).unwrap().data(), &[1.0; 4]);
+}
+
+#[test]
+fn diamond_graph_accumulates_both_paths() {
+    // z = x² + x³ → dz/dx = 2x + 3x².
+    let mut g = Graph::new();
+    let x = g.param(Tensor::scalar(2.0));
+    let sq = g.square(x);
+    let cube0 = g.mul(sq, x);
+    let z = g.add(sq, cube0);
+    g.backward(z);
+    assert_eq!(g.grad(x).unwrap().item(), 2.0 * 2.0 + 3.0 * 4.0);
+}
+
+#[test]
+fn deep_chain_is_numerically_stable() {
+    // 60 tanh layers: gradients vanish but stay finite.
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(&[4], vec![0.1, -0.2, 0.3, -0.4]));
+    let mut h = x;
+    for _ in 0..60 {
+        h = g.tanh(h);
+    }
+    let s = g.sum(h);
+    g.backward(s);
+    let grad = g.grad(x).unwrap();
+    assert!(grad.all_finite());
+    assert!(grad.l2_norm() < 1.0);
+}
+
+#[test]
+fn scalar_broadcast_against_tensor() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]));
+    let m = g.mean(x); // scalar
+    let centered = g.sub(x, m);
+    let s = g.sum(centered);
+    // Σ(x − mean) ≡ 0 and its gradient is identically zero.
+    assert!(g.value(s).item().abs() < 1e-12);
+    g.backward(s);
+    for &v in g.grad(x).unwrap().data() {
+        assert!(v.abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sum_axis_all_axes_round_trip() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]));
+    let rows = g.sum_axis(x, 0); // (3,)
+    let total = g.sum_axis(rows, 0); // scalar-ish (shape [])
+    assert_eq!(g.value(total).item(), 21.0);
+    g.backward(total);
+    assert_eq!(g.grad(x).unwrap().data(), &[1.0; 6]);
+}
+
+#[test]
+fn frozen_binding_blocks_gradients() {
+    let mut store = ParamStore::new();
+    let w = store.add("w", Tensor::scalar(2.0));
+    let mut g = Graph::new();
+    let frozen = store.bind_frozen(&mut g);
+    let y = g.square(frozen.node(w));
+    g.backward(y);
+    assert!(frozen.grads(&g)[0].is_none());
+}
+
+#[test]
+fn relu_kink_subgradient_is_zero() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(&[1], vec![0.0]));
+    let y = g.relu(x);
+    let s = g.sum(y);
+    g.backward(s);
+    assert_eq!(g.grad(x).unwrap().item(), 0.0);
+}
+
+#[test]
+fn softmax_saturated_inputs_stay_finite() {
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(&[1, 3], vec![1e6, -1e6, 0.0]));
+    let y = g.softmax(x);
+    let v = g.value(y);
+    assert!(v.all_finite());
+    assert!((v.data()[0] - 1.0).abs() < 1e-12);
+    let s = g.sum(y);
+    g.backward(s);
+    assert!(g.grad(x).unwrap().all_finite());
+}

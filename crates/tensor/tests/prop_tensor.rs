@@ -1,0 +1,113 @@
+//! Property-based tests for the tensor substrate.
+
+use ppn_tensor::{Graph, ParamStore, Tensor};
+use proptest::prelude::*;
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, n)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in finite_vec(12), b in finite_vec(12)) {
+        let ta = Tensor::from_vec(&[3, 4], a);
+        let tb = Tensor::from_vec(&[3, 4], b);
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    #[test]
+    fn mul_with_ones_is_identity(a in finite_vec(10)) {
+        let t = Tensor::from_vec(&[2, 5], a);
+        prop_assert_eq!(t.mul(&Tensor::ones(&[2, 5])), t.clone());
+        prop_assert_eq!(t.add(&Tensor::zeros(&[2, 5])), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)) {
+        let ta = Tensor::from_vec(&[2, 3], a);
+        let tb = Tensor::from_vec(&[3, 2], b);
+        let tc = Tensor::from_vec(&[3, 2], c);
+        let lhs = ta.matmul(&tb.add(&tc));
+        let rhs = ta.matmul(&tb).add(&ta.matmul(&tc));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in finite_vec(6), b in finite_vec(6)) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let ta = Tensor::from_vec(&[2, 3], a);
+        let tb = Tensor::from_vec(&[3, 2], b);
+        let lhs = ta.matmul(&tb).transpose2();
+        let rhs = tb.transpose2().matmul(&ta.transpose2());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn softmax_is_simplex(a in finite_vec(8)) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(&[2, 4], a));
+        let y = g.softmax(x);
+        let v = g.value(y);
+        for &p in v.data() {
+            prop_assert!(p >= 0.0 && p <= 1.0);
+        }
+        for r in 0..2 {
+            let s: f64 = v.data()[r * 4..(r + 1) * 4].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance(a in finite_vec(5), shift in -50.0..50.0f64) {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(&[1, 5], a.clone()));
+        let y1 = g.softmax(x);
+        let xs = g.leaf(Tensor::from_vec(&[1, 5], a.iter().map(|v| v + shift).collect()));
+        let y2 = g.softmax(xs);
+        prop_assert!(g.value(y1).max_abs_diff(g.value(y2)) < 1e-9);
+    }
+
+    #[test]
+    fn sum_axis_total_matches_sum(a in finite_vec(24)) {
+        let t = Tensor::from_vec(&[2, 3, 4], a);
+        for axis in 0..3 {
+            prop_assert!((t.sum_axis(axis).sum() - t.sum()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permute_preserves_multiset(a in finite_vec(24)) {
+        let t = Tensor::from_vec(&[2, 3, 4], a);
+        let p = t.permute(&[2, 0, 1]);
+        let mut x: Vec<f64> = t.data().to_vec();
+        let mut y: Vec<f64> = p.data().to_vec();
+        x.sort_by(f64::total_cmp);
+        y.sort_by(f64::total_cmp);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn reshape_roundtrip(a in finite_vec(12)) {
+        let t = Tensor::from_vec(&[3, 4], a);
+        prop_assert_eq!(t.reshape(&[2, 6]).reshape(&[3, 4]), t);
+    }
+
+    #[test]
+    fn backward_linear_in_seed(a in finite_vec(4), k in 0.1..10.0f64) {
+        // grad(k·f) = k·grad(f): run backward twice with scaled losses.
+        let run = |scale: f64| {
+            let mut g = Graph::new();
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(&[4], a.clone()));
+            let bind = store.bind(&mut g);
+            let sq = g.square(bind.node(w));
+            let s = g.sum(sq);
+            let s = g.scale(s, scale);
+            g.backward(s);
+            bind.grads(&g)[0].clone().unwrap()
+        };
+        let g1 = run(1.0);
+        let gk = run(k);
+        prop_assert!(gk.max_abs_diff(&g1.scale(k)) < 1e-9 * (1.0 + g1.l2_norm() * k));
+    }
+}

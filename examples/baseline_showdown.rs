@@ -1,0 +1,41 @@
+//! Runs the full classic-baseline suite (§6.1.1 of the paper) on a chosen
+//! dataset and prints a Table-3-style comparison — no training involved.
+//!
+//! ```sh
+//! cargo run --release -p ppn-repro --example baseline_showdown [crypto-a|crypto-b|crypto-c|crypto-d|sp500]
+//! ```
+
+use ppn_repro::baselines::standard_suite;
+use ppn_repro::market::{run_backtest, test_range, Dataset, Preset};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "crypto-b".into());
+    let preset = match arg.as_str() {
+        "crypto-a" => Preset::CryptoA,
+        "crypto-b" => Preset::CryptoB,
+        "crypto-c" => Preset::CryptoC,
+        "crypto-d" => Preset::CryptoD,
+        "sp500" => Preset::Sp500,
+        other => {
+            eprintln!("unknown preset {other}; use crypto-a..d or sp500");
+            std::process::exit(2);
+        }
+    };
+    let ds = Dataset::load(preset);
+    let range = test_range(&ds);
+    println!(
+        "{} — {} assets, {} test periods, psi = 0.25%\n",
+        preset.name(),
+        ds.assets(),
+        range.len()
+    );
+    println!("{:<10} {:>10} {:>8} {:>10} {:>8} {:>8}", "Algo", "APV", "SR(%)", "CR", "MDD(%)", "TO");
+    for mut p in standard_suite(&ds, range.clone()) {
+        let r = run_backtest(&ds, p.as_mut(), 0.0025, range.clone());
+        let m = r.metrics;
+        println!(
+            "{:<10} {:>10.3} {:>8.2} {:>10.2} {:>8.1} {:>8.3}",
+            r.name, m.apv, m.sharpe_pct, m.calmar, m.mdd * 100.0, m.turnover
+        );
+    }
+}

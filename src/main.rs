@@ -1,0 +1,167 @@
+//! `ppn` — command-line interface to the reproduction.
+//!
+//! ```text
+//! ppn train     --preset crypto-a --variant PPN --steps 800 --out model.json
+//! ppn backtest  --preset crypto-a --model model.json [--psi 0.0025]
+//! ppn baselines --preset crypto-a [--psi 0.0025]
+//! ppn export    --preset crypto-a --out prices.csv
+//! ```
+
+use ppn_repro::baselines::standard_suite;
+use ppn_repro::core::prelude::*;
+use ppn_repro::core::PolicyNet;
+use ppn_repro::market::{run_backtest, test_range, Dataset, Preset};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn preset_from(flags: &HashMap<String, String>) -> Result<Preset, String> {
+    match flags.get("preset").map(String::as_str) {
+        Some("crypto-a") | None => Ok(Preset::CryptoA),
+        Some("crypto-b") => Ok(Preset::CryptoB),
+        Some("crypto-c") => Ok(Preset::CryptoC),
+        Some("crypto-d") => Ok(Preset::CryptoD),
+        Some("sp500") => Ok(Preset::Sp500),
+        Some(other) => Err(format!("unknown preset '{other}' (crypto-a..d, sp500)")),
+    }
+}
+
+fn print_metrics(name: &str, m: &ppn_repro::market::Metrics) {
+    println!(
+        "{:<10} APV {:>9.3}  SR {:>7.2}%  CR {:>9.2}  MDD {:>5.1}%  STD {:>5.2}%  TO {:>6.3}",
+        name, m.apv, m.sharpe_pct, m.calmar, m.mdd * 100.0, m.std_pct, m.turnover
+    );
+}
+
+fn cmd_train(flags: HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_from(&flags)?;
+    let variant_name = flags.get("variant").cloned().unwrap_or_else(|| "PPN".into());
+    let variant =
+        Variant::from_name(&variant_name).ok_or(format!("unknown variant '{variant_name}'"))?;
+    let steps: usize =
+        flags.get("steps").map_or(Ok(400), |s| s.parse().map_err(|_| "bad --steps".to_string()))?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "model.json".into());
+    let gamma: f64 = flags
+        .get("gamma")
+        .map_or(Ok(1e-3), |s| s.parse().map_err(|_| "bad --gamma".to_string()))?;
+    let lambda: f64 = flags
+        .get("lambda")
+        .map_or(Ok(1e-4), |s| s.parse().map_err(|_| "bad --lambda".to_string()))?;
+    let psi: f64 =
+        flags.get("psi").map_or(Ok(0.0025), |s| s.parse().map_err(|_| "bad --psi".to_string()))?;
+
+    let ds = Dataset::load(preset);
+    println!("Training {variant_name} on {} for {steps} steps (λ={lambda:e}, γ={gamma:e}, ψ={psi}) ...", preset.name());
+    let reward = RewardConfig { lambda, gamma, psi };
+    let train = TrainConfig { steps, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(&ds, variant, reward, train);
+    for i in 0..steps {
+        let s = trainer.step();
+        if steps >= 10 && i % (steps / 10) == 0 {
+            println!("  step {i:>5}: reward {:+.5}, turnover {:.4}", s.reward, s.mean_turnover);
+        }
+    }
+    let net = trainer.into_net();
+    net.save(&out).map_err(|e| e.to_string())?;
+    println!("Saved checkpoint to {out}");
+    Ok(())
+}
+
+fn cmd_backtest(flags: HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_from(&flags)?;
+    let model = flags.get("model").ok_or("missing --model <path>")?;
+    let psi: f64 =
+        flags.get("psi").map_or(Ok(0.0025), |s| s.parse().map_err(|_| "bad --psi".to_string()))?;
+    let ds = Dataset::load(preset);
+    let net = PolicyNet::load(model).map_err(|e| e.to_string())?;
+    if net.cfg.assets != ds.assets() {
+        return Err(format!(
+            "model was trained for {} assets, {} has {}",
+            net.cfg.assets,
+            preset.name(),
+            ds.assets()
+        ));
+    }
+    let mut policy = NetPolicy::new(net);
+    let r = run_backtest(&ds, &mut policy, psi, test_range(&ds));
+    println!("Backtest of {model} on {} (ψ={psi}):", preset.name());
+    print_metrics(&r.name, &r.metrics);
+    Ok(())
+}
+
+fn cmd_baselines(flags: HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_from(&flags)?;
+    let psi: f64 =
+        flags.get("psi").map_or(Ok(0.0025), |s| s.parse().map_err(|_| "bad --psi".to_string()))?;
+    let ds = Dataset::load(preset);
+    let range = test_range(&ds);
+    println!("Classic baselines on {} (ψ={psi}, {} test periods):", preset.name(), range.len());
+    for mut p in standard_suite(&ds, range.clone()) {
+        let r = run_backtest(&ds, p.as_mut(), psi, range.clone());
+        print_metrics(&r.name, &r.metrics);
+    }
+    Ok(())
+}
+
+fn cmd_export(flags: HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_from(&flags)?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "prices.csv".into());
+    let ds = Dataset::load(preset);
+    let mut csv = String::from("period");
+    for i in 0..ds.assets() {
+        csv.push_str(&format!(",asset{i}_open,asset{i}_high,asset{i}_low,asset{i}_close"));
+    }
+    csv.push('\n');
+    for t in 0..ds.periods() {
+        csv.push_str(&t.to_string());
+        for i in 0..ds.assets() {
+            let b = ds.ohlc.bar(t, i);
+            csv.push_str(&format!(",{},{},{},{}", b.open, b.high, b.low, b.close));
+        }
+        csv.push('\n');
+    }
+    std::fs::write(&out, csv).map_err(|e| e.to_string())?;
+    println!("Wrote {} periods x {} assets of OHLC to {out}", ds.periods(), ds.assets());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: ppn <train|backtest|baselines|export> [--flags]");
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "train" => cmd_train(flags),
+        "backtest" => cmd_backtest(flags),
+        "baselines" => cmd_baselines(flags),
+        "export" => cmd_export(flags),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: the full train → backtest → metrics flow
+//! spanning `ppn-market`, `ppn-baselines`, `ppn-core` and `ppn-tensor`.
+
+use ppn_repro::baselines::Crp;
+use ppn_repro::core::prelude::*;
+use ppn_repro::market::{run_backtest, test_range, Dataset, Preset};
+
+fn tiny_train(steps: usize) -> TrainConfig {
+    TrainConfig { steps, batch: 8, seed: 7, ..TrainConfig::default() }
+}
+
+#[test]
+fn train_and_backtest_round_trip() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let (mut policy, report) =
+        train_policy(&ds, Variant::PpnLstm, RewardConfig::default(), tiny_train(30));
+    assert!(report.rewards.len() == 30);
+    assert!(report.rewards.iter().all(|r| r.is_finite()));
+    let r = run_backtest(&ds, &mut policy, 0.0025, ds.split..ds.split + 60);
+    assert_eq!(r.records.len(), 60);
+    assert!(r.metrics.apv > 0.0 && r.metrics.apv.is_finite());
+    assert!(r.metrics.mdd >= 0.0 && r.metrics.mdd <= 1.0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let run = || {
+        let (mut p, _) =
+            train_policy(&ds, Variant::PpnLstm, RewardConfig::default(), tiny_train(10));
+        run_backtest(&ds, &mut p, 0.0025, ds.split..ds.split + 20).metrics.apv
+    };
+    assert_eq!(run(), run(), "same seed must give identical results");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let run = |seed: u64| {
+        let cfg = TrainConfig { seed, ..tiny_train(10) };
+        let (mut p, _) = train_policy(&ds, Variant::PpnLstm, RewardConfig::default(), cfg);
+        run_backtest(&ds, &mut p, 0.0025, ds.split..ds.split + 20).metrics.apv
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn net_policy_and_baseline_share_harness_accounting() {
+    // The same (deterministic) action sequence must produce the same wealth
+    // regardless of which crate produced it — pin this by comparing a CRP
+    // baseline against a replayed copy of its own actions.
+    struct Replay(Vec<Vec<f64>>, usize);
+    impl ppn_repro::market::Policy for Replay {
+        fn name(&self) -> String {
+            "REPLAY".into()
+        }
+        fn decide(&mut self, _: &ppn_repro::market::DecisionContext<'_>) -> Vec<f64> {
+            let a = self.0[self.1].clone();
+            self.1 += 1;
+            a
+        }
+        fn reset(&mut self) {
+            self.1 = 0;
+        }
+    }
+    let ds = Dataset::load(Preset::CryptoB);
+    let range = ds.split..ds.split + 50;
+    let r1 = run_backtest(&ds, &mut Crp, 0.0025, range.clone());
+    let actions: Vec<Vec<f64>> = r1.records.iter().map(|r| r.action.clone()).collect();
+    let r2 = run_backtest(&ds, &mut Replay(actions, 0), 0.0025, range);
+    assert_eq!(r1.metrics.apv, r2.metrics.apv);
+}
+
+#[test]
+fn higher_costs_never_help_a_fixed_policy() {
+    let ds = Dataset::load(Preset::CryptoA);
+    let apv = |psi: f64| {
+        run_backtest(&ds, &mut Crp, psi, test_range(&ds)).metrics.apv
+    };
+    let free = apv(0.0);
+    let cheap = apv(0.001);
+    let dear = apv(0.01);
+    assert!(free >= cheap && cheap >= dear, "{free} {cheap} {dear}");
+}
+
+#[test]
+fn gamma_extreme_suppresses_turnover_during_training() {
+    // The paper's Table 6 shape at the extreme: a huge γ makes the policy
+    // hold rather than trade. Observable directly in the trainer telemetry:
+    // the batch mean turnover under γ=100 ends far below the γ=0 run's.
+    use ppn_repro::core::trainer::Trainer;
+    use ppn_repro::core::{NetConfig, PolicyNet};
+    let ds = Dataset::load(Preset::CryptoA);
+    let mean_to_tail = |gamma: f64| {
+        let reward = RewardConfig { gamma, ..RewardConfig::default() };
+        let cfg = NetConfig { window: 10, ..NetConfig::paper(ds.assets()) };
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let net = PolicyNet::new(Variant::PpnLstm, cfg, &mut rng);
+        let mut tr = Trainer::with_net(&ds, net, reward, tiny_train(50));
+        let mut tail = Vec::new();
+        for i in 0..50 {
+            let s = tr.step();
+            if i >= 40 {
+                tail.push(s.mean_turnover);
+            }
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    let free = mean_to_tail(0.0);
+    let constrained = mean_to_tail(100.0);
+    assert!(
+        constrained < free,
+        "gamma=100 mean turnover {constrained} not below gamma=0 {free}"
+    );
+}
