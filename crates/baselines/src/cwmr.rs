@@ -54,9 +54,7 @@ impl Cwmr {
     fn residual(&self, x: &[f64], lam: f64) -> f64 {
         let n = x.len();
         let sx = matvec(&self.sigma, x);
-        let s1: Vec<f64> = (0..n)
-            .map(|r| (0..n).map(|c| self.sigma[r * n + c]).sum())
-            .collect();
+        let s1: Vec<f64> = (0..n).map(|r| (0..n).map(|c| self.sigma[r * n + c]).sum()).collect();
         let ones_s_ones: f64 = s1.iter().sum();
         let xbar = s1.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() / ones_s_ones.max(1e-300);
         // μ' = μ − λ Σ (x − x̄ 1)
@@ -102,8 +100,7 @@ impl Cwmr {
 
         // Apply the update at λ.
         let sx = matvec(&self.sigma, x);
-        let s1: Vec<f64> =
-            (0..n).map(|r| (0..n).map(|c| self.sigma[r * n + c]).sum()).collect();
+        let s1: Vec<f64> = (0..n).map(|r| (0..n).map(|c| self.sigma[r * n + c]).sum()).collect();
         let ones_s_ones: f64 = s1.iter().sum();
         let xbar = s1.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() / ones_s_ones.max(1e-300);
         for i in 0..n {
@@ -118,9 +115,7 @@ impl Cwmr {
             }
         }
         // Normalise: μ onto the simplex, Σ to constant trace (OLPS style).
-        if self.mu.iter().any(|v| !v.is_finite())
-            || self.sigma.iter().any(|v| !v.is_finite())
-        {
+        if self.mu.iter().any(|v| !v.is_finite()) || self.sigma.iter().any(|v| !v.is_finite()) {
             // Numerical degeneration (Σ lost positive-definiteness after
             // thousands of rank-1 downdates): restart the belief. This is
             // the same recovery the OLPS toolbox applies.

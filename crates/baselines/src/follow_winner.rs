@@ -29,7 +29,8 @@ impl UniversalPortfolios {
         self.experts = (0..self.samples)
             .map(|_| {
                 // Flat Dirichlet via normalised exponentials.
-                let e: Vec<f64> = (0..n).map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln()).collect();
+                let e: Vec<f64> =
+                    (0..n).map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln()).collect();
                 normalize(&e)
             })
             .collect();

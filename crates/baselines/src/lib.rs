@@ -37,10 +37,7 @@ use ppn_market::{Dataset, Policy};
 /// The full baseline suite with the literature-default hyper-parameters, in
 /// the row order of the paper's Table 3. `range` is needed by the hindsight
 /// `Best` oracle.
-pub fn standard_suite(
-    dataset: &Dataset,
-    range: std::ops::Range<usize>,
-) -> Vec<Box<dyn Policy>> {
+pub fn standard_suite(dataset: &Dataset, range: std::ops::Range<usize>) -> Vec<Box<dyn Policy>> {
     vec![
         Box::new(Ubah::default()),
         Box::new(BestStock::new(dataset, range)),

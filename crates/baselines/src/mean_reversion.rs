@@ -95,11 +95,8 @@ pub fn olmar_prediction(history: &[Vec<f64>], w: usize) -> Vec<f64> {
 /// `b ← Π( b + λ(x̃ − x̄̃·1) )`, `λ = max(0, (ε − bᵀx̃)/‖x̃ − x̄̃·1‖²)`.
 fn pa_step_toward(b: &[f64], pred: &[f64], epsilon: f64) -> Vec<f64> {
     let denom = sq_dev_norm(pred);
-    let lam = if denom > 1e-12 {
-        ((epsilon - portfolio_return(b, pred)) / denom).max(0.0)
-    } else {
-        0.0
-    };
+    let lam =
+        if denom > 1e-12 { ((epsilon - portfolio_return(b, pred)) / denom).max(0.0) } else { 0.0 };
     if lam == 0.0 {
         return b.to_vec();
     }

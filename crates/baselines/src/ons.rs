@@ -25,8 +25,8 @@ pub struct Ons {
     /// Inverse step size (paper default 1).
     pub beta: f64,
     b: Vec<f64>,
-    a: Vec<f64>,     // A_t, row-major
-    p: Vec<f64>,     // un-mixed iterate
+    a: Vec<f64>, // A_t, row-major
+    p: Vec<f64>, // un-mixed iterate
     seen: usize,
 }
 
@@ -73,12 +73,8 @@ impl Ons {
             self.p.iter().zip(&dir).map(|(&pi, &di)| pi + di / self.beta).collect();
         self.p = Self::project_a(&self.a, &target, 100);
         let u = uniform(n);
-        self.b = self
-            .p
-            .iter()
-            .zip(&u)
-            .map(|(&pi, &ui)| (1.0 - self.eta) * pi + self.eta * ui)
-            .collect();
+        self.b =
+            self.p.iter().zip(&u).map(|(&pi, &ui)| (1.0 - self.eta) * pi + self.eta * ui).collect();
     }
 }
 

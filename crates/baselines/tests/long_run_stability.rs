@@ -2,7 +2,7 @@
 //! test-split backtest on every crypto preset without leaving the simplex.
 
 use ppn_baselines::*;
-use ppn_market::{run_backtest, test_range, Dataset, Policy, Preset};
+use ppn_market::{run_backtest, test_range, Dataset, Preset};
 
 #[test]
 fn all_baselines_survive_full_test_split() {
@@ -11,8 +11,13 @@ fn all_baselines_survive_full_test_split() {
         let range = test_range(&ds);
         for mut p in standard_suite(&ds, range.clone()) {
             let r = run_backtest(&ds, p.as_mut(), 0.0025, range.clone());
-            assert!(r.metrics.apv.is_finite() && r.metrics.apv > 0.0,
-                "{} on {}: APV {}", r.name, preset.name(), r.metrics.apv);
+            assert!(
+                r.metrics.apv.is_finite() && r.metrics.apv > 0.0,
+                "{} on {}: APV {}",
+                r.name,
+                preset.name(),
+                r.metrics.apv
+            );
         }
     }
 }

@@ -12,8 +12,9 @@ use std::hint::black_box;
 
 fn toy_batch(cfg: &NetConfig, b: usize, rng: &mut StdRng) -> WindowBatch {
     let (m, k, d) = (cfg.assets, cfg.window, cfg.features);
-    let windows: Vec<Vec<f64>> =
-        (0..b).map(|_| Tensor::randn(rng, &[m * k * d], 0.01).map(|v| 1.0 + v).into_vec()).collect();
+    let windows: Vec<Vec<f64>> = (0..b)
+        .map(|_| Tensor::randn(rng, &[m * k * d], 0.01).map(|v| 1.0 + v).into_vec())
+        .collect();
     let prev = vec![vec![1.0 / (m as f64 + 1.0); m + 1]; b];
     WindowBatch::new(&windows, &prev, m, k, d)
 }

@@ -7,6 +7,7 @@ use ppn_core::prelude::*;
 use ppn_market::{run_backtest, test_range, Dataset, Preset};
 
 fn main() {
+    let run = ppn_bench::start_run("diagnose");
     let presets: Vec<Preset> = match std::env::args().nth(1).as_deref() {
         Some("a") => vec![Preset::CryptoA],
         Some("b") => vec![Preset::CryptoB],
@@ -14,13 +15,13 @@ fn main() {
         Some("d") => vec![Preset::CryptoD],
         _ => vec![Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD],
     };
-    let steps: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
     for p in presets {
         let ds = Dataset::load(p);
         let range = test_range(&ds);
         let ubah = run_backtest(&ds, &mut ppn_baselines::Ubah::default(), 0.0025, range.clone());
-        let olmar = run_backtest(&ds, &mut ppn_baselines::Olmar::new(10.0, 5), 0.0025, range.clone());
+        let olmar =
+            run_backtest(&ds, &mut ppn_baselines::Olmar::new(10.0, 5), 0.0025, range.clone());
 
         let train = TrainConfig { steps, ..TrainConfig::default() };
         let mut tr = Trainer::new(&ds, Variant::PpnI, RewardConfig::default(), train);
@@ -34,16 +35,20 @@ fn main() {
         let net = tr.into_net();
         let mut policy = NetPolicy::new(net);
         let r = run_backtest(&ds, &mut policy, 0.0025, range);
-        println!("=== {} (m={}) ===", p.name(), ds.assets());
-        println!(
+        ppn_obs::obs_info!("=== {} (m={}) ===", p.name(), ds.assets());
+        ppn_obs::obs_info!(
             "  UBAH APV {:.3} | OLMAR APV {:.3} | PPN-I APV {:.3} TO {:.3} SR {:.2}%",
-            ubah.metrics.apv, olmar.metrics.apv, r.metrics.apv, r.metrics.turnover,
+            ubah.metrics.apv,
+            olmar.metrics.apv,
+            r.metrics.apv,
+            r.metrics.turnover,
             r.metrics.sharpe_pct
         );
-        print!("  reward trace:");
+        let mut line = String::from("  reward trace:");
         for (i, rew, to) in &trace {
-            print!(" [{i}] {rew:+.4}/{to:.3}");
+            line.push_str(&format!(" [{i}] {rew:+.4}/{to:.3}"));
         }
-        println!();
+        ppn_obs::obs_info!("{line}");
     }
+    let _ = run.finish();
 }

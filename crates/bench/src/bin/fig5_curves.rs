@@ -7,6 +7,7 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("fig5_curves");
     let variants = [
         Variant::Eiie,
         Variant::PpnLstm,
@@ -19,7 +20,7 @@ fn main() {
     ];
     let mut curves = Vec::new();
     for v in variants {
-        eprintln!("[fig5] {} ...", v.name());
+        ppn_obs::obs_info!("[fig5] {} ...", v.name());
         let cfg = match v {
             Variant::Ppn | Variant::PpnI | Variant::Eiie => default_config(Preset::CryptoA, v),
             _ => config_at(Preset::CryptoA, v, Budget::Ablation),
@@ -55,9 +56,9 @@ fn main() {
         ..Default::default()
     };
     ppn_bench::save_chart(&series, &cfg, "fig5_curves.svg").unwrap();
-    println!("Wrote results/fig5_curves.csv and results/fig5_curves.svg ({len} periods).");
-    println!("Final APVs:");
+    ppn_obs::obs_info!("wrote results/fig5_curves.csv and results/fig5_curves.svg ({len} periods)");
     for (name, c) in &curves {
-        println!("  {:<15} {:.2}", name, c.last().copied().unwrap_or(1.0));
+        ppn_obs::obs_info!("final APV {:<15} {:.2}", name, c.last().copied().unwrap_or(1.0));
     }
+    let _ = run.finish();
 }

@@ -7,10 +7,11 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("fig6_gamma_curves");
     let gammas = [1e-4, 1e-3, 1e-2, 1e-1];
     let mut curves = Vec::new();
     for &gamma in &gammas {
-        eprintln!("[fig6] gamma={gamma:.0e} ...");
+        ppn_obs::obs_info!("[fig6] gamma={gamma:.0e} ...");
         let mut cfg = config_at(Preset::CryptoA, Variant::Ppn, Budget::Sweep);
         cfg.gamma = gamma;
         let res = train_and_backtest(&cfg);
@@ -44,8 +45,9 @@ fn main() {
         ..Default::default()
     };
     ppn_bench::save_chart(&series, &cfg, "fig6_gamma_curves.svg").unwrap();
-    println!("Wrote results/fig6_gamma_curves.csv and .svg ({len} periods).");
+    ppn_obs::obs_info!("wrote results/fig6_gamma_curves.csv and .svg ({len} periods)");
     for (name, c) in &curves {
-        println!("  {:<12} final APV {:.2}", name, c.last().copied().unwrap_or(1.0));
+        ppn_obs::obs_info!("{:<12} final APV {:.2}", name, c.last().copied().unwrap_or(1.0));
     }
+    let _ = run.finish();
 }

@@ -7,6 +7,7 @@ use ppn_market::risk::{self, frequency};
 use ppn_market::{run_backtest, test_range, Dataset, Preset};
 
 fn main() {
+    let run = ppn_bench::start_run("risk_report");
     let preset = Preset::CryptoA;
     let ds = Dataset::load(preset);
     let range = test_range(&ds);
@@ -31,4 +32,5 @@ fn main() {
         ]);
     }
     table.finish("risk_report.md");
+    let _ = run.finish();
 }

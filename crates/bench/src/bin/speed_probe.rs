@@ -4,6 +4,7 @@ use ppn_market::{Dataset, Preset};
 use std::time::Instant;
 
 fn main() {
+    let run = ppn_bench::start_run("speed_probe");
     let ds = Dataset::load(Preset::CryptoA);
     for variant in [Variant::Ppn, Variant::PpnI, Variant::PpnLstm, Variant::Eiie] {
         let cfg = TrainConfig { steps: 10, batch: 24, ..TrainConfig::default() };
@@ -12,6 +13,11 @@ fn main() {
         for _ in 0..10 {
             tr.step();
         }
-        println!("{:<10} {:>8.1} ms/step", variant.name(), t0.elapsed().as_secs_f64() * 100.0);
+        ppn_obs::obs_info!(
+            "{:<10} {:>8.1} ms/step",
+            variant.name(),
+            t0.elapsed().as_secs_f64() * 100.0
+        );
     }
+    let _ = run.finish();
 }

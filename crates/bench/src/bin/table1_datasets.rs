@@ -4,6 +4,7 @@ use ppn_bench::TableWriter;
 use ppn_market::{stats, Dataset, Preset};
 
 fn main() {
+    let run = ppn_bench::start_run("table1_datasets");
     let mut table = TableWriter::new(
         "Table 1 & 10 — Statistics of the synthetic datasets (substituting the paper's Poloniex / Kaggle feeds)",
         &["Dataset", "#Asset", "Train Num.", "Test Num.", "Periods/day"],
@@ -21,4 +22,5 @@ fn main() {
         ]);
     }
     table.finish("table1.md");
+    let _ = run.finish();
 }

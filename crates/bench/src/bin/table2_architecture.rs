@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let run = ppn_bench::start_run("table2_architecture");
     let (m, k) = (12usize, 30usize);
     let cfg = NetConfig::paper(m);
     let mut table = TableWriter::new(
@@ -16,19 +17,63 @@ fn main() {
         &["Part", "Input -> Output", "Layer information"],
     );
     let rows = [
-        ("TCCB1", format!("({m},{k},4) -> ({m},{k},8)"), "DCONV-(N8, K[1x3], S1, causal), DiR1, DrR0.2, ReLU"),
-        ("TCCB1", format!("({m},{k},8) -> ({m},{k},8)"), "DCONV-(N8, K[1x3], S1, causal), DiR1, DrR0.2, ReLU"),
-        ("TCCB1", format!("({m},{k},8) -> ({m},{k},8)"), "CCONV-(N8, K[mx1], S1, SAME), DrR0.2, ReLU"),
-        ("TCCB2", format!("({m},{k},8) -> ({m},{k},16)"), "DCONV-(N16, K[1x3], S1, causal), DiR2, DrR0.2, ReLU"),
-        ("TCCB2", format!("({m},{k},16) -> ({m},{k},16)"), "DCONV-(N16, K[1x3], S1, causal), DiR2, DrR0.2, ReLU"),
-        ("TCCB2", format!("({m},{k},16) -> ({m},{k},16)"), "CCONV-(N16, K[mx1], S1, SAME), DrR0.2, ReLU"),
-        ("TCCB3", format!("({m},{k},16) -> ({m},{k},16)"), "DCONV-(N16, K[1x3], S1, causal), DiR4, DrR0.2, ReLU"),
-        ("TCCB3", format!("({m},{k},16) -> ({m},{k},16)"), "DCONV-(N16, K[1x3], S1, causal), DiR4, DrR0.2, ReLU"),
-        ("TCCB3", format!("({m},{k},16) -> ({m},{k},16)"), "CCONV-(N16, K[mx1], S1, SAME), DrR0.2, ReLU"),
+        (
+            "TCCB1",
+            format!("({m},{k},4) -> ({m},{k},8)"),
+            "DCONV-(N8, K[1x3], S1, causal), DiR1, DrR0.2, ReLU",
+        ),
+        (
+            "TCCB1",
+            format!("({m},{k},8) -> ({m},{k},8)"),
+            "DCONV-(N8, K[1x3], S1, causal), DiR1, DrR0.2, ReLU",
+        ),
+        (
+            "TCCB1",
+            format!("({m},{k},8) -> ({m},{k},8)"),
+            "CCONV-(N8, K[mx1], S1, SAME), DrR0.2, ReLU",
+        ),
+        (
+            "TCCB2",
+            format!("({m},{k},8) -> ({m},{k},16)"),
+            "DCONV-(N16, K[1x3], S1, causal), DiR2, DrR0.2, ReLU",
+        ),
+        (
+            "TCCB2",
+            format!("({m},{k},16) -> ({m},{k},16)"),
+            "DCONV-(N16, K[1x3], S1, causal), DiR2, DrR0.2, ReLU",
+        ),
+        (
+            "TCCB2",
+            format!("({m},{k},16) -> ({m},{k},16)"),
+            "CCONV-(N16, K[mx1], S1, SAME), DrR0.2, ReLU",
+        ),
+        (
+            "TCCB3",
+            format!("({m},{k},16) -> ({m},{k},16)"),
+            "DCONV-(N16, K[1x3], S1, causal), DiR4, DrR0.2, ReLU",
+        ),
+        (
+            "TCCB3",
+            format!("({m},{k},16) -> ({m},{k},16)"),
+            "DCONV-(N16, K[1x3], S1, causal), DiR4, DrR0.2, ReLU",
+        ),
+        (
+            "TCCB3",
+            format!("({m},{k},16) -> ({m},{k},16)"),
+            "CCONV-(N16, K[mx1], S1, SAME), DrR0.2, ReLU",
+        ),
         ("Conv4", format!("({m},{k},16) -> ({m},1,16)"), "CONV-(N16, K[1xk], S1, VALID), ReLU"),
         ("LSTM", format!("({m},{k},4) -> ({m},1,16)"), "LSTM unit number: 16"),
-        ("Concat", format!("({m},16)+({m},16)+({m},1)+(1,33) -> ({},33)", m + 1), "features + a_{t-1} + cash bias"),
-        ("Prediction", format!("({},33) -> ({},1)", m + 1, m + 1), "CONV-(N1, K[1x1], S1, VALID), Softmax"),
+        (
+            "Concat",
+            format!("({m},16)+({m},16)+({m},1)+(1,33) -> ({},33)", m + 1),
+            "features + a_{t-1} + cash bias",
+        ),
+        (
+            "Prediction",
+            format!("({},33) -> ({},1)", m + 1, m + 1),
+            "CONV-(N1, K[1x1], S1, VALID), Softmax",
+        ),
     ];
     for (part, io, info) in rows {
         table.row(vec![part.to_string(), io, info.to_string()]);
@@ -47,9 +92,10 @@ fn main() {
     assert_eq!(g.value(out).shape(), &[1, m + 1]);
     let s: f64 = g.value(out).data().iter().sum();
     assert!((s - 1.0).abs() < 1e-9);
-    println!(
-        "\nLive check: forward at (m={m}, k={k}, d=4) -> {:?}, simplex OK; {} trainable scalars.",
+    ppn_obs::obs_info!(
+        "live check: forward at (m={m}, k={k}, d=4) -> {:?}, simplex OK; {} trainable scalars",
         g.value(out).shape(),
         net.store.num_scalars()
     );
+    let _ = run.finish();
 }

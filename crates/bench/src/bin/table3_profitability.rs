@@ -1,11 +1,12 @@
 //! Table 3 / Table Sup.1: profitability comparison of all baselines, EIIE,
 //! PPN-I and PPN on the four crypto datasets (APV, SR%, CR, TO).
 
-use ppn_bench::{default_config, fnum, run_baselines, train_and_backtest, TableWriter};
+use ppn_bench::{default_config, fnum, run_baselines, start_run, train_and_backtest, TableWriter};
 use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = start_run("table3_profitability");
     let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
     let nets = [Variant::Eiie, Variant::PpnI, Variant::Ppn];
 
@@ -38,7 +39,7 @@ fn main() {
     for v in nets {
         let mut row = vec![v.name().to_string()];
         for &p in &presets {
-            eprintln!("[table3] {} on {} ...", v.name(), p.name());
+            ppn_obs::obs_info!("[table3] {} on {} ...", v.name(), p.name());
             let res = train_and_backtest(&default_config(p, v));
             let m = res.metrics;
             row.extend([fnum(m.apv), fnum(m.sharpe_pct), fnum(m.calmar), fnum(m.turnover)]);
@@ -47,4 +48,5 @@ fn main() {
     }
 
     table.finish("table3.md");
+    let _ = run.finish();
 }

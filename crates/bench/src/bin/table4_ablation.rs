@@ -6,6 +6,7 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("table4_ablation");
     let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
     let mut header = vec!["Module".to_string()];
     for p in presets {
@@ -14,13 +15,12 @@ fn main() {
         }
     }
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table =
-        TableWriter::new("Table 4 — PPN with different feature extractors", &hdr);
+    let mut table = TableWriter::new("Table 4 — PPN with different feature extractors", &hdr);
 
     for v in Variant::table4_order() {
         let mut row = vec![v.name().to_string()];
         for &p in &presets {
-            eprintln!("[table4] {} on {} ...", v.name(), p.name());
+            ppn_obs::obs_info!("[table4] {} on {} ...", v.name(), p.name());
             // PPN and PPN-I reuse the headline (full-budget) runs of Table 3;
             // the pure-ablation variants train at the ablation budget.
             let cfg = match v {
@@ -34,4 +34,5 @@ fn main() {
         table.row(row);
     }
     table.finish("table4.md");
+    let _ = run.finish();
 }

@@ -7,6 +7,7 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("table5_cost_rates");
     let rates = [0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.02, 0.05];
     let nets = [Variant::Eiie, Variant::PpnI, Variant::Ppn];
 
@@ -24,7 +25,7 @@ fn main() {
     for v in nets {
         let mut row = vec![v.name().to_string()];
         for &psi in &rates {
-            eprintln!("[table5] {} at c={}% ...", v.name(), psi * 100.0);
+            ppn_obs::obs_info!("[table5] {} at c={}% ...", v.name(), psi * 100.0);
             let mut cfg = config_at(Preset::CryptoA, v, Budget::Sweep);
             cfg.psi = psi;
             let res = train_and_backtest(&cfg);
@@ -34,4 +35,5 @@ fn main() {
         table.row(row);
     }
     table.finish("table5.md");
+    let _ = run.finish();
 }

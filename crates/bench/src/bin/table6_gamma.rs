@@ -8,6 +8,7 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("table6_gamma");
     let gammas = [1e-4, 1e-3, 1e-2, 1e-1];
     let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
 
@@ -22,7 +23,7 @@ fn main() {
     for &gamma in &gammas {
         let mut row = vec![format!("{gamma:.0e}")];
         for &p in &presets {
-            eprintln!("[table6] gamma={gamma:.0e} on {} ...", p.name());
+            ppn_obs::obs_info!("[table6] gamma={gamma:.0e} on {} ...", p.name());
             let mut cfg = config_at(p, Variant::Ppn, Budget::Sweep);
             cfg.gamma = gamma;
             let res = train_and_backtest(&cfg);
@@ -32,4 +33,5 @@ fn main() {
         table.row(row);
     }
     table.finish("table6.md");
+    let _ = run.finish();
 }

@@ -7,6 +7,7 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("table7_lambda");
     let lambdas = [1e-4, 1e-3, 1e-2, 1e-1];
     let presets = [Preset::CryptoA, Preset::CryptoB, Preset::CryptoC, Preset::CryptoD];
 
@@ -22,7 +23,7 @@ fn main() {
     for &lambda in &lambdas {
         let mut row = vec![format!("{lambda:.0e}")];
         for &p in &presets {
-            eprintln!("[table7] lambda={lambda:.0e} on {} ...", p.name());
+            ppn_obs::obs_info!("[table7] lambda={lambda:.0e} on {} ...", p.name());
             let mut cfg = config_at(p, Variant::Ppn, Budget::Sweep);
             cfg.lambda = lambda;
             let res = train_and_backtest(&cfg);
@@ -33,4 +34,5 @@ fn main() {
         table.row(row);
     }
     table.finish("table7.md");
+    let _ = run.finish();
 }

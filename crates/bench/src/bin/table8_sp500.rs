@@ -6,6 +6,7 @@ use ppn_core::Variant;
 use ppn_market::Preset;
 
 fn main() {
+    let run = ppn_bench::start_run("table8_sp500");
     let mut table = TableWriter::new(
         "Table 8 — Performance comparisons on the S&P500-like dataset",
         &["Algos", "APV", "SR(%)", "CR", "TO"],
@@ -15,7 +16,7 @@ fn main() {
         table.row(vec![name, fnum(m.apv), fnum(m.sharpe_pct), fnum(m.calmar), fnum(m.turnover)]);
     }
     for v in [Variant::Eiie, Variant::PpnI, Variant::Ppn] {
-        eprintln!("[table8] {} on S&P500 ...", v.name());
+        ppn_obs::obs_info!("[table8] {} on S&P500 ...", v.name());
         let res = train_and_backtest(&default_config(Preset::Sp500, v));
         let m = res.metrics;
         table.row(vec![
@@ -27,4 +28,5 @@ fn main() {
         ]);
     }
     table.finish("table8.md");
+    let _ = run.finish();
 }

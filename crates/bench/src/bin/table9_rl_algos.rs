@@ -11,6 +11,7 @@ use ppn_core::prelude::*;
 use ppn_market::{run_backtest, test_range, Dataset, Preset};
 
 fn main() {
+    let run = ppn_bench::start_run("table9_rl_algos");
     let ds = Dataset::load(Preset::CryptoA);
     let mut table = TableWriter::new(
         "Table 9 — RL algorithms for PPN on Crypto-A",
@@ -18,7 +19,7 @@ fn main() {
     );
 
     // PPN-AC via DDPG.
-    eprintln!("[table9] training PPN-AC (DDPG) ...");
+    ppn_obs::obs_info!("[table9] training PPN-AC (DDPG) ...");
     let ddpg_cfg = DdpgConfig {
         steps: std::env::var("PPN_DDPG_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(250),
         ..DdpgConfig::default()
@@ -47,4 +48,5 @@ fn main() {
         fnum(m.calmar),
     ]);
     table.finish("table9.md");
+    let _ = run.finish();
 }

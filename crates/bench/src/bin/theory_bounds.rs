@@ -15,6 +15,7 @@ use ppn_market::{
 };
 
 fn main() {
+    let run = ppn_bench::start_run("theory_bounds");
     // --- Proposition 4 on a live backtest trajectory -------------------
     let ds = Dataset::load(Preset::CryptoA);
     let psi = 0.0025;
@@ -33,16 +34,15 @@ fn main() {
         if sol.cost < lo - 1e-10 || sol.cost > hi + 1e-10 {
             violations += 1;
         }
-        let to: f64 =
-            rec.action.iter().zip(&prev).map(|(a, h)| (a - h).abs()).sum();
+        let to: f64 = rec.action.iter().zip(&prev).map(|(a, h)| (a - h).abs()).sum();
         if to > max_turnover(0.0) + 1e-10 {
             violations += 1;
         }
         worst_rel = worst_rel.max((sol.cost - lo).min(hi - sol.cost).abs());
         prev = ppn_market::drifted_weights(&rec.action, ds.relative(rec.t));
     }
-    println!(
-        "Proposition 4: {} periods checked, {} bound violations (worst margin {:.2e}).",
+    ppn_obs::obs_info!(
+        "Proposition 4: {} periods checked, {} bound violations (worst margin {:.2e})",
         r.records.len(),
         violations,
         worst_rel
@@ -52,7 +52,7 @@ fn main() {
     // --- Theorem 2 growth-rate gap --------------------------------------
     let (lambda, gamma) = (1e-4, 1e-3);
     let allowance = 2.25 * lambda + 2.0 * gamma * (1.0 - psi) / (1.0 + psi);
-    println!("\nTheorem 2 allowance per period: (9/4)λ + 2γ(1−ψ)/(1+ψ) = {allowance:.6}");
+    ppn_obs::obs_info!("Theorem 2 allowance per period: (9/4)λ + 2γ(1−ψ)/(1+ψ) = {allowance:.6}");
 
     let cost_sensitive =
         train_and_backtest(&config_at(Preset::CryptoA, Variant::Ppn, Budget::Sweep));
@@ -65,14 +65,15 @@ fn main() {
     let g_sens = cost_sensitive.wealth.last().unwrap().ln() / n;
     let g_blind = cost_blind.wealth.last().unwrap().ln() / n;
     let gap = g_blind - g_sens;
-    println!(
+    ppn_obs::obs_info!(
         "Realised growth rates: cost-blind {g_blind:.6}, cost-sensitive {g_sens:.6}, gap {gap:.6}"
     );
-    println!(
+    ppn_obs::obs_info!(
         "Theorem-2 shape {}: realised gap {:.6} vs allowance {:.6} (the bound constrains the \
-         *optimal* policies; trained policies additionally carry optimisation noise).",
+         *optimal* policies; trained policies additionally carry optimisation noise)",
         if gap <= allowance { "HOLDS" } else { "EXCEEDED (within training noise)" },
         gap,
         allowance
     );
+    let _ = run.finish();
 }

@@ -88,10 +88,7 @@ pub fn render_line_chart(series: &[Series], cfg: &ChartConfig) -> String {
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
         cfg.width, cfg.height, cfg.width, cfg.height
     ));
-    svg.push_str(&format!(
-        r#"<rect width="{}" height="{}" fill="white"/>"#,
-        cfg.width, cfg.height
-    ));
+    svg.push_str(&format!(r#"<rect width="{}" height="{}" fill="white"/>"#, cfg.width, cfg.height));
     svg.push_str(&format!(
         r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
         w / 2.0,
@@ -204,8 +201,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn log_scale_rejects_non_positive() {
-        let series =
-            vec![Series { name: "bad".into(), values: vec![1.0, 0.0, 2.0] }];
+        let series = vec![Series { name: "bad".into(), values: vec![1.0, 0.0, 2.0] }];
         let cfg = ChartConfig { log_y: true, ..ChartConfig::default() };
         let _ = render_line_chart(&series, &cfg);
     }

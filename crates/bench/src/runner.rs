@@ -77,10 +77,8 @@ pub fn variant_by_name(name: &str) -> Variant {
 }
 
 fn scale_env(base: usize) -> usize {
-    let scale: f64 = std::env::var("PPN_STEPS_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let scale: f64 =
+        std::env::var("PPN_STEPS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
     ((base as f64) * scale).round().max(10.0) as usize
 }
 
@@ -164,21 +162,54 @@ fn cache_path(cfg: &ExpConfig) -> PathBuf {
     // Stable, readable key.
     let key = format!(
         "{}_{}_l{:e}_g{:e}_p{:e}_s{}_b{}_lr{:e}_seed{}",
-        cfg.preset, cfg.variant, cfg.lambda, cfg.gamma, cfg.psi, cfg.steps, cfg.batch, cfg.lr,
+        cfg.preset,
+        cfg.variant,
+        cfg.lambda,
+        cfg.gamma,
+        cfg.psi,
+        cfg.steps,
+        cfg.batch,
+        cfg.lr,
         cfg.seed
     )
     .replace(['&', '/', ' '], "-");
     cache_dir().join(format!("{key}.json"))
 }
 
+/// Directory where telemetry (JSONL streams, run manifests) is written.
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Standard experiment-binary prologue: initialises observability from
+/// `PPN_OBS` and opens a run manifest that will land next to the results
+/// (`results/telemetry/<name>.manifest.json`) when finished or dropped.
+pub fn start_run(name: &str) -> ppn_obs::manifest::ManifestGuard {
+    ppn_obs::init_from_env();
+    ppn_obs::obs_info!(
+        "{name}: starting (PPN_OBS={})",
+        std::env::var("PPN_OBS").unwrap_or_else(|_| "<unset>".into())
+    );
+    ppn_obs::RunManifest::start(name, TELEMETRY_DIR)
+}
+
 /// Trains (or loads from cache) and backtests one neural configuration.
 pub fn train_and_backtest(cfg: &ExpConfig) -> ExpResult {
+    let _span = ppn_obs::span!("experiment.run");
     let path = cache_path(cfg);
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(res) = serde_json::from_slice::<ExpResult>(&bytes) {
+            ppn_obs::counter("experiment.cache_hits").inc();
+            ppn_obs::obs_debug!("cache hit: {}", path.display());
             return res;
         }
     }
+    ppn_obs::event!(
+        ppn_obs::Level::Debug,
+        "experiment.start",
+        preset = cfg.preset.as_str(),
+        variant = cfg.variant.as_str(),
+        steps = cfg.steps,
+        seed = cfg.seed,
+    );
     let preset = preset_by_name(&cfg.preset);
     let variant = variant_by_name(&cfg.variant);
     let ds = Dataset::load(preset);
@@ -194,6 +225,15 @@ pub fn train_and_backtest(cfg: &ExpConfig) -> ExpResult {
     let (mut policy, report) = train_policy(&ds, variant, reward, train);
     let train_secs = t0.elapsed().as_secs_f64();
     let bt = run_backtest(&ds, &mut policy, cfg.psi, test_range(&ds));
+    ppn_obs::event!(
+        ppn_obs::Level::Info,
+        "experiment.finish",
+        preset = cfg.preset.as_str(),
+        variant = cfg.variant.as_str(),
+        train_secs = train_secs,
+        final_reward = report.final_reward,
+        apv = bt.metrics.apv,
+    );
     let res = ExpResult {
         config: cfg.clone(),
         metrics: bt.metrics,

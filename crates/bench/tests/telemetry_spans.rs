@@ -1,0 +1,65 @@
+//! End-to-end telemetry coverage: a tiny train + backtest must populate the
+//! span registry with the instrumented hot paths, feed the metrics
+//! registry, and produce a parseable per-step JSONL trace.
+
+use ppn_core::prelude::*;
+use ppn_market::{run_backtest, Dataset, Preset};
+use ppn_obs::ObsConfig;
+use serde_json::Value;
+
+#[test]
+fn spans_metrics_and_step_trace_cover_train_and_backtest() {
+    ppn_obs::init(ObsConfig {
+        stderr_level: None,
+        jsonl_level: None,
+        jsonl_path: None,
+        spans: true,
+        metrics: true,
+    });
+    let ds = Dataset::load(Preset::CryptoA);
+    let cfg = TrainConfig { steps: 2, batch: 8, ..TrainConfig::default() };
+    let mut tr = Trainer::new(&ds, Variant::PpnLstm, RewardConfig::default(), cfg);
+    let report = tr.train();
+
+    // Satellite: the report retains the full StepStats trace and exports it
+    // as JSONL that parses back.
+    assert_eq!(report.steps.len(), 2);
+    assert_eq!(report.rewards.len(), 2);
+    let jsonl = report.to_jsonl();
+    for (i, line) in jsonl.lines().enumerate() {
+        let v = Value::parse(line).expect("step row parses");
+        assert!(matches!(v.field("step"), Ok(Value::Num(n)) if *n == i as f64));
+        assert!(matches!(v.field("reward"), Ok(Value::Num(_))));
+        assert!(matches!(v.field("grad_norm"), Ok(Value::Num(_))));
+        assert!(matches!(v.field("mean_turnover"), Ok(Value::Num(_))));
+    }
+
+    let mut policy = NetPolicy::new(tr.into_net());
+    let r = run_backtest(&ds, &mut policy, 0.0025, 100..140);
+    assert_eq!(r.records.len(), 40);
+
+    // The instrumented spans all recorded non-zero wall time.
+    let stats = ppn_obs::span_stats();
+    for name in ["train.step", "net.forward", "backtest.period", "backtest.run", "dataset.load"] {
+        let s = stats
+            .iter()
+            .find(|s| s.name() == name)
+            .unwrap_or_else(|| panic!("span `{name}` missing from {stats:?}"));
+        assert!(s.total_ns > 0, "span `{name}` has zero duration");
+    }
+    // net.forward nests under train.step, so the parent's self time is
+    // strictly less than its total.
+    let step = stats.iter().find(|s| s.path == "train.step").expect("train.step root");
+    assert!(step.child_ns > 0 && step.self_ns() < step.total_ns);
+    let report_text = ppn_obs::span_report();
+    assert!(report_text.contains("train.step/net.forward"));
+
+    // Metrics side: counters and histograms moved.
+    let snap = ppn_obs::metrics_snapshot();
+    let counter = |n: &str| snap.counters.iter().find(|c| c.name == n).map(|c| c.value);
+    assert_eq!(counter("train.steps"), Some(2));
+    assert_eq!(counter("backtest.periods"), Some(40));
+    let hist =
+        snap.histograms.iter().find(|h| h.name == "backtest.turnover").expect("turnover histogram");
+    assert_eq!(hist.count, 40);
+}

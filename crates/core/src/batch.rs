@@ -37,7 +37,13 @@ impl WindowBatch {
     ///
     /// # Panics
     /// Panics on inconsistent lengths.
-    pub fn new(windows: &[Vec<f64>], prev_actions: &[Vec<f64>], m: usize, k: usize, d: usize) -> Self {
+    pub fn new(
+        windows: &[Vec<f64>],
+        prev_actions: &[Vec<f64>],
+        m: usize,
+        k: usize,
+        d: usize,
+    ) -> Self {
         let b = windows.len();
         assert!(b > 0, "empty batch");
         assert_eq!(prev_actions.len(), b);
@@ -97,8 +103,9 @@ mod tests {
     fn layouts_agree() {
         let (m, k, d) = (3, 4, 2);
         let w = toy_window(m, k, d, 0.0);
-        let prev = vec![vec![0.4, 0.3, 0.2, 0.1]];
-        let batch = WindowBatch::new(&[w.clone()], &[prev[0].clone()], m, k, d);
+        let prev = vec![0.4, 0.3, 0.2, 0.1];
+        let batch =
+            WindowBatch::new(std::slice::from_ref(&w), std::slice::from_ref(&prev), m, k, d);
 
         assert_eq!(batch.seq_steps.len(), k);
         assert_eq!(batch.seq_steps[0].shape(), &[m, d]);
@@ -106,7 +113,7 @@ mod tests {
         assert_eq!(batch.prev_risky.shape(), &[1, 1, m, 1]);
 
         // Cross-check one coordinate: asset 1, time 2, feature 1.
-        let expect = w[1 * k * d + 2 * d + 1];
+        let expect = w[k * d + 2 * d + 1];
         assert_eq!(batch.seq_steps[2].at(&[1, 1]), expect);
         assert_eq!(batch.conv_input.at(&[0, 1, 1, 2]), expect);
     }
@@ -114,13 +121,7 @@ mod tests {
     #[test]
     fn prev_action_drops_cash() {
         let (m, k, d) = (2, 2, 1);
-        let b = WindowBatch::new(
-            &[toy_window(m, k, d, 0.0)],
-            &[vec![0.5, 0.3, 0.2]],
-            m,
-            k,
-            d,
-        );
+        let b = WindowBatch::new(&[toy_window(m, k, d, 0.0)], &[vec![0.5, 0.3, 0.2]], m, k, d);
         assert_eq!(b.prev_risky.data(), &[0.3, 0.2]);
     }
 

@@ -57,7 +57,9 @@ impl CorrNet {
         dilations: &[usize; 3],
         dropout: f64,
     ) -> Self {
-        Self::build(store, rng, name, mode, assets, window, features, channels, dilations, dropout, true)
+        Self::build(
+            store, rng, name, mode, assets, window, features, channels, dilations, dropout, true,
+        )
     }
 
     /// Builds the block stack **without** `Conv4` — used by the cascade
@@ -75,7 +77,9 @@ impl CorrNet {
         dilations: &[usize; 3],
         dropout: f64,
     ) -> Self {
-        Self::build(store, rng, name, mode, assets, window, features, channels, dilations, dropout, false)
+        Self::build(
+            store, rng, name, mode, assets, window, features, channels, dilations, dropout, false,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -34,10 +34,24 @@ impl Critic {
     pub fn new<R: Rng>(cfg: NetConfig, rng: &mut R) -> Self {
         let mut store = ParamStore::new();
         let conv1 = Conv2dLayer::new(
-            &mut store, rng, "q.conv1", cfg.features, 8, (1, 3), (1, 1), ConvKind::Valid,
+            &mut store,
+            rng,
+            "q.conv1",
+            cfg.features,
+            8,
+            (1, 3),
+            (1, 1),
+            ConvKind::Valid,
         );
         let conv2 = Conv2dLayer::new(
-            &mut store, rng, "q.conv2", 8, 16, (1, cfg.window - 2), (1, 1), ConvKind::Valid,
+            &mut store,
+            rng,
+            "q.conv2",
+            8,
+            16,
+            (1, cfg.window - 2),
+            (1, 1),
+            ConvKind::Valid,
         );
         // 16 feature channels + 1 action channel fused per asset.
         let fuse =
@@ -358,7 +372,7 @@ mod tests {
         let trainer = DdpgTrainer::new(&ds, Variant::PpnLstm, RewardConfig::default(), cfg);
         let actor = trainer.train();
         let w = ds.window(100, actor.cfg.window);
-        let a = actor.act(&w, &vec![1.0 / 13.0; 13]);
+        let a = actor.act(&w, &[1.0 / 13.0; 13]);
         assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 }

@@ -30,8 +30,7 @@ impl DecisionModule {
         cash_bias: f64,
     ) -> Self {
         let total = feature_channels + 1;
-        let conv =
-            Conv2dLayer::new(store, rng, name, total, 1, (1, 1), (1, 1), ConvKind::Valid);
+        let conv = Conv2dLayer::new(store, rng, name, total, 1, (1, 1), (1, 1), ConvKind::Valid);
         DecisionModule { conv, total_channels: total, cash_bias }
     }
 

@@ -116,8 +116,7 @@ mod tests {
         let path = dir.join("model.json");
         net.save(&path).unwrap();
         // Corrupt the variant name.
-        let mut ck: Checkpoint =
-            serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+        let mut ck: Checkpoint = serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
         ck.variant = "NOT-A-NET".into();
         std::fs::write(&path, serde_json::to_vec(&ck).unwrap()).unwrap();
         assert!(PolicyNet::load(&path).is_err());
@@ -135,8 +134,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
         net.save(&path).unwrap();
-        let mut ck: Checkpoint =
-            serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+        let mut ck: Checkpoint = serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
         // Claim a different asset count: first-layer shapes no longer match.
         ck.cfg.assets = 7;
         std::fs::write(&path, serde_json::to_vec(&ck).unwrap()).unwrap();

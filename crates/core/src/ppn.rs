@@ -140,8 +140,7 @@ impl PolicyNet {
                 (Arch::SeqOnly { seq }, ch)
             }
             Variant::PpnTcb | Variant::PpnTccb => {
-                let mode =
-                    if variant == Variant::PpnTccb { CorrMode::Tccb } else { CorrMode::Tcb };
+                let mode = if variant == Variant::PpnTccb { CorrMode::Tccb } else { CorrMode::Tcb };
                 let corr = mk_corr(&mut store, rng, mode);
                 let ch = corr.channels();
                 (Arch::ConvOnly { corr }, ch)
@@ -197,7 +196,8 @@ impl PolicyNet {
                 (Arch::Eiie { conv1, conv2 }, ch)
             }
         };
-        let decision = DecisionModule::new(&mut store, rng, "decision", feat_channels, cfg.cash_bias);
+        let decision =
+            DecisionModule::new(&mut store, rng, "decision", feat_channels, cfg.cash_bias);
         PolicyNet { variant, cfg, store, arch, decision }
     }
 
@@ -211,6 +211,7 @@ impl PolicyNet {
         training: bool,
         rng: &mut R,
     ) -> NodeId {
+        let _span = ppn_obs::span!("net.forward");
         let features: Vec<NodeId> = match &self.arch {
             Arch::TwoStream { seq, corr } => {
                 let f_seq = seq.forward(g, bind, batch);
@@ -355,7 +356,12 @@ mod tests {
             g.backward(s);
             let grads = bind.grads(&g);
             let reached = grads.iter().filter(|gr| gr.is_some()).count();
-            assert_eq!(reached, net.store.len(), "{v:?}: {reached}/{} params reached", net.store.len());
+            assert_eq!(
+                reached,
+                net.store.len(),
+                "{v:?}: {reached}/{} params reached",
+                net.store.len()
+            );
         }
     }
 
@@ -438,7 +444,9 @@ mod variant_gradcheck {
         let ids: Vec<_> = store.ids().collect();
         for id in ids {
             if store.name(id).ends_with(".b") && store.name(id).contains("conv") {
-                for v in store.value_mut(id).data_mut() { *v += 0.5; }
+                for v in store.value_mut(id).data_mut() {
+                    *v += 0.5;
+                }
             }
         }
         let report = ppn_tensor::gradcheck::gradcheck(
@@ -453,7 +461,7 @@ mod variant_gradcheck {
             1e-5,
             37,
         );
-        eprintln!("{v:?}: {report:?}");
+        ppn_obs::obs_debug!("{v:?}: {report:?}");
         report.max_rel_err
     }
 

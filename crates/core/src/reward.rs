@@ -166,8 +166,7 @@ mod tests {
         let a = uniform_rows(t, n);
         let mut g = Graph::new();
         let an = g.param(a.clone());
-        let nodes =
-            cost_sensitive_reward(&mut g, an, &Tensor::ones(&[t, n]), &a, 0.1, 0.1, 0.0025);
+        let nodes = cost_sensitive_reward(&mut g, an, &Tensor::ones(&[t, n]), &a, 0.1, 0.1, 0.0025);
         assert!(g.value(nodes.reward).item().abs() < 1e-12);
         assert!(g.value(nodes.mean_turnover).item().abs() < 1e-12);
     }
@@ -177,10 +176,7 @@ mod tests {
         // Same trajectory, different γ: higher γ ⇒ lower reward when trades happen.
         let t = 3;
         let n = 3;
-        let actions = Tensor::from_vec(
-            &[t, n],
-            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
-        );
+        let actions = Tensor::from_vec(&[t, n], vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
         let relatives = Tensor::ones(&[t, n]);
         let drifted = uniform_rows(t, n);
         let r = |gamma: f64| {
@@ -218,12 +214,10 @@ mod tests {
         let t = 3;
         let n = 3;
         let mut store = ParamStore::new();
-        let a0 = store.add("a", Tensor::from_vec(&[t, n], vec![
-            0.3, 0.4, 0.3, 0.3, 0.4, 0.3, 0.3, 0.4, 0.3,
-        ]));
-        let relatives = Tensor::from_vec(&[t, n], vec![
-            1.0, 1.1, 0.9, 1.0, 1.2, 0.8, 1.0, 1.05, 0.95,
-        ]);
+        let a0 = store
+            .add("a", Tensor::from_vec(&[t, n], vec![0.3, 0.4, 0.3, 0.3, 0.4, 0.3, 0.3, 0.4, 0.3]));
+        let relatives =
+            Tensor::from_vec(&[t, n], vec![1.0, 1.1, 0.9, 1.0, 1.2, 0.8, 1.0, 1.05, 0.95]);
         let drifted = Tensor::full(&[t, n], 1.0 / 3.0);
         let report = ppn_tensor::gradcheck::gradcheck(
             &mut store,

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Per-step training telemetry.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct StepStats {
     /// Cost-sensitive reward of the sampled batch.
     pub reward: f64,
@@ -39,8 +39,49 @@ pub struct StepStats {
 pub struct TrainReport {
     /// Reward trace, one entry per step.
     pub rewards: Vec<f64>,
+    /// Full telemetry trace, one [`StepStats`] per step.
+    pub steps: Vec<StepStats>,
     /// Mean reward over the final 10% of steps.
     pub final_reward: f64,
+}
+
+impl TrainReport {
+    /// Serializes the full step trace as JSON Lines — one
+    /// `{"step":…,"reward":…,…}` object per line, ready for `jq`.
+    pub fn to_jsonl(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct Row {
+            step: u64,
+            reward: f64,
+            mean_log_return: f64,
+            variance: f64,
+            mean_turnover: f64,
+            grad_norm: f64,
+        }
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            let row = Row {
+                step: i as u64,
+                reward: s.reward,
+                mean_log_return: s.mean_log_return,
+                variance: s.variance,
+                mean_turnover: s.mean_turnover,
+                grad_norm: s.grad_norm,
+            };
+            out.push_str(&serde_json::to_string(&row).expect("StepStats row serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`TrainReport::to_jsonl`] to `path`, creating parent dirs.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_jsonl())
+    }
 }
 
 /// Trains a [`PolicyNet`] on a dataset's training split.
@@ -135,6 +176,8 @@ impl<'a> Trainer<'a> {
 
     /// Runs one gradient step; returns telemetry.
     pub fn step(&mut self) -> StepStats {
+        let _span = ppn_obs::span!("train.step");
+        let wall = std::time::Instant::now();
         let t0 = self.sample_start();
         let tn = self.train_cfg.batch;
         let m1 = self.dataset.assets() + 1;
@@ -154,7 +197,8 @@ impl<'a> Trainer<'a> {
             rels.extend_from_slice(self.dataset.relative(t));
             prevs.push(prev);
         }
-        let batch = WindowBatch::new(&windows, &prevs, self.dataset.assets(), k, self.net.cfg.features);
+        let batch =
+            WindowBatch::new(&windows, &prevs, self.dataset.assets(), k, self.net.cfg.features);
         let rel_t = Tensor::from_vec(&[tn, m1], rels);
         let hat_t = Tensor::from_vec(&[tn, m1], drifted);
 
@@ -183,25 +227,75 @@ impl<'a> Trainer<'a> {
             self.pvm[t0 + b] = row;
         }
 
-        StepStats {
+        let stats = StepStats {
             reward: g.value(nodes.reward).item(),
             mean_log_return: g.value(nodes.mean_log_return).item(),
             variance: g.value(nodes.variance).item(),
             mean_turnover: g.value(nodes.mean_turnover).item(),
             grad_norm,
+        };
+        if ppn_obs::metrics_enabled() {
+            ppn_obs::counter("train.steps").inc();
+            ppn_obs::histogram("train.grad_norm", &[0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 50.0])
+                .observe(stats.grad_norm);
+            ppn_obs::histogram("train.turnover", &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0])
+                .observe(stats.mean_turnover);
+            ppn_obs::histogram(
+                "train.step_ms",
+                &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0],
+            )
+            .observe(wall.elapsed().as_secs_f64() * 1e3);
         }
+        stats
     }
 
     /// Runs the configured number of steps.
     pub fn train(&mut self) -> TrainReport {
-        let mut rewards = Vec::with_capacity(self.train_cfg.steps);
-        for _ in 0..self.train_cfg.steps {
-            rewards.push(self.step().reward);
+        let total = self.train_cfg.steps;
+        let mut rewards = Vec::with_capacity(total);
+        let mut steps = Vec::with_capacity(total);
+        // Per-epoch progress cadence: ~10 summaries over the run.
+        let epoch = (total / 10).max(1);
+        for i in 0..total {
+            let s = self.step();
+            ppn_obs::event!(
+                ppn_obs::Level::Trace,
+                "train.step",
+                step = i,
+                reward = s.reward,
+                mean_log_return = s.mean_log_return,
+                variance = s.variance,
+                mean_turnover = s.mean_turnover,
+                grad_norm = s.grad_norm,
+            );
+            if (i + 1) % epoch == 0 || i + 1 == total {
+                let lo = (i + 1).saturating_sub(epoch);
+                let window = &steps[lo..];
+                let mean = |f: fn(&StepStats) -> f64| {
+                    (window.iter().map(f).sum::<f64>() + f(&s)) / (window.len() + 1) as f64
+                };
+                ppn_obs::event!(
+                    ppn_obs::Level::Debug,
+                    "train.epoch",
+                    step = i + 1,
+                    steps_total = total,
+                    mean_reward = mean(|x| x.reward),
+                    mean_turnover = mean(|x| x.mean_turnover),
+                    mean_grad_norm = mean(|x| x.grad_norm),
+                );
+            }
+            rewards.push(s.reward);
+            steps.push(s);
         }
         let tail = (rewards.len() / 10).max(1);
-        let final_reward =
-            rewards[rewards.len() - tail..].iter().sum::<f64>() / tail as f64;
-        TrainReport { rewards, final_reward }
+        let final_reward = rewards[rewards.len() - tail..].iter().sum::<f64>() / tail as f64;
+        ppn_obs::event!(
+            ppn_obs::Level::Debug,
+            "train.finish",
+            steps = total,
+            final_reward = final_reward,
+        );
+        TrainReport { rewards, steps, final_reward }
     }
 
     /// Consumes the trainer, returning the trained network.

@@ -88,15 +88,22 @@ pub fn run_backtest(
     psi: f64,
     range: std::ops::Range<usize>,
 ) -> BacktestResult {
+    let _span = ppn_obs::span!("backtest.run");
     policy.reset();
+    let name = policy.name();
     let m1 = dataset.assets() + 1;
     let mut prev_action = vec![0.0; m1];
     prev_action[0] = 1.0; // a_0 = (1, 0, …, 0): all cash
     let mut drifted = prev_action.clone();
     let mut wealth = 1.0;
+    let mut peak: f64 = 1.0;
     let mut records = Vec::with_capacity(range.len());
+    let periods_counter = ppn_obs::counter("backtest.periods");
+    let turnover_hist =
+        ppn_obs::histogram("backtest.turnover", &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0]);
 
     for t in range {
+        let _period = ppn_obs::span!("backtest.period");
         let action = {
             let ctx = DecisionContext {
                 t,
@@ -114,11 +121,22 @@ pub fn run_backtest(
         let gross = portfolio_return(&action, x);
         let net = gross * (1.0 - sol.cost);
         wealth *= net;
-        let turnover: f64 = drifted
-            .iter()
-            .zip(&action)
-            .map(|(&h, &a)| (h - a * sol.omega).abs())
-            .sum();
+        peak = peak.max(wealth);
+        let turnover: f64 =
+            drifted.iter().zip(&action).map(|(&h, &a)| (h - a * sol.omega).abs()).sum();
+        periods_counter.inc();
+        turnover_hist.observe(turnover);
+        ppn_obs::event!(
+            ppn_obs::Level::Trace,
+            "backtest.period",
+            policy = name.as_str(),
+            t = t,
+            portfolio_value = wealth,
+            gross_return = gross,
+            cost = sol.cost,
+            turnover = turnover,
+            drawdown = 1.0 - wealth / peak,
+        );
         records.push(PeriodRecord {
             t,
             action: action.clone(),
@@ -135,7 +153,17 @@ pub fn run_backtest(
     let logs: Vec<f64> = records.iter().map(|r| r.net_log_return).collect();
     let curve: Vec<f64> = records.iter().map(|r| r.wealth).collect();
     let tos: Vec<f64> = records.iter().map(|r| r.turnover).collect();
-    BacktestResult { name: policy.name(), metrics: compute(&logs, &curve, &tos), records }
+    let metrics = compute(&logs, &curve, &tos);
+    ppn_obs::event!(
+        ppn_obs::Level::Debug,
+        "backtest.finish",
+        policy = name.as_str(),
+        periods = records.len(),
+        apv = metrics.apv,
+        mdd = metrics.mdd,
+        turnover = metrics.turnover,
+    );
+    BacktestResult { name, metrics, records }
 }
 
 fn validate_simplex(a: &[f64], policy: &dyn Policy, t: usize) {

@@ -30,12 +30,7 @@ pub struct CostSolution {
 /// L1 distance over the **risky** coordinates (index 0 = cash is skipped),
 /// with the target scaled by `omega`.
 fn risky_l1(target: &[f64], omega: f64, drifted: &[f64]) -> f64 {
-    target
-        .iter()
-        .zip(drifted)
-        .skip(1)
-        .map(|(&a, &h)| (a * omega - h).abs())
-        .sum()
+    target.iter().zip(drifted).skip(1).map(|(&a, &h)| (a * omega - h).abs()).sum()
 }
 
 /// Solves `c = ψ‖a·(1−c) − â‖₁` by fixed-point iteration to `tol`.

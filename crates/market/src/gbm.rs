@@ -108,6 +108,7 @@ impl ClosePaths {
 
 /// Generates close-price paths under `cfg`. Deterministic in `cfg.seed`.
 pub fn generate_paths(cfg: &MarketConfig) -> ClosePaths {
+    let _span = ppn_obs::span!("dataset.synthesize");
     assert!(cfg.assets > 0 && cfg.periods > 1, "degenerate market config");
     let m = cfg.assets;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -222,8 +223,7 @@ mod tests {
         let lrs: Vec<f64> = (1..p.periods).map(|t| (p.at(t, 0) / p.at(t - 1, 0)).ln()).collect();
         let mean = lrs.iter().sum::<f64>() / lrs.len() as f64;
         let var: f64 = lrs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
-        let cov: f64 =
-            lrs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let cov: f64 = lrs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
         let ac = cov / var;
         assert!(ac > 0.15 && ac < 0.45, "autocorrelation {ac}");
     }

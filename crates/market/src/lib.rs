@@ -34,7 +34,9 @@ pub mod ohlc;
 pub mod relatives;
 pub mod risk;
 
-pub use backtest::{run_backtest, test_range, BacktestResult, DecisionContext, PeriodRecord, Policy};
+pub use backtest::{
+    run_backtest, test_range, BacktestResult, DecisionContext, PeriodRecord, Policy,
+};
 pub use cost::{cost_proportion, max_turnover, prop4_bounds, turnover_l1, CostSolution};
 pub use dataset::{stats, Dataset, DatasetStats, Preset};
 pub use env::{Observation, StepOutcome, TradingEnv};

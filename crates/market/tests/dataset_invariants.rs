@@ -70,8 +70,7 @@ fn regime_signatures_match_design() {
     // mean-reversion vs quiet-trend presets).
     let vol = |preset: Preset| {
         let ds = Dataset::load(preset);
-        let logs: Vec<f64> =
-            (0..2_000).map(|t| ds.relative(t)[1].ln()).collect();
+        let logs: Vec<f64> = (0..2_000).map(|t| ds.relative(t)[1].ln()).collect();
         let mean = logs.iter().sum::<f64>() / logs.len() as f64;
         (logs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / logs.len() as f64).sqrt()
     };
@@ -113,8 +112,7 @@ fn volume_window_has_five_features() {
     }
     // Normalised volumes are positive and average ~1 per asset.
     for i in 0..ds.assets() {
-        let mean: f64 =
-            (0..k).map(|s| w5[i * k * 5 + s * 5 + 4]).sum::<f64>() / k as f64;
+        let mean: f64 = (0..k).map(|s| w5[i * k * 5 + s * 5 + 4]).sum::<f64>() / k as f64;
         assert!((mean - 1.0).abs() < 1e-9, "asset {i}: mean vol {mean}");
     }
 }

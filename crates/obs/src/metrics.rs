@@ -1,0 +1,302 @@
+//! Process-wide metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Handles are cheap `Arc` clones; hot-path operations (`inc`, `observe`)
+//! are single atomic ops and never take the registry lock. Snapshots are
+//! serializable (JSONL-able) and mergeable — merge is commutative and
+//! associative (counters/histograms add, gauges take the max), so shard
+//! snapshots can be combined in any order.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+static REGISTRY: Mutex<Option<HashMap<String, Handle>>> = Mutex::new(None);
+
+/// Monotonically increasing event count.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-written floating-point level (stored as `f64` bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::metrics_enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistInner {
+    /// Upper bucket bounds, strictly increasing; an implicit `+inf` bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Σ observed values, as `f64` bits updated by CAS.
+    sum_bits: AtomicU64,
+    /// Number of observations.
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Histogram(Arc::new(HistInner {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. Bucket `i` counts values `v <= bounds[i]`
+    /// (first matching bound); larger values land in the overflow bucket.
+    pub fn observe(&self, v: f64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|&b| b < v);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Upper bucket bounds (without the implicit overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts including the trailing overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+fn with_registry<T>(f: impl FnOnce(&mut HashMap<String, Handle>) -> T) -> T {
+    let mut reg = REGISTRY.lock();
+    f(reg.get_or_insert_with(HashMap::new))
+}
+
+/// Registers (or fetches) the counter `name`.
+pub fn counter(name: &str) -> Counter {
+    with_registry(|reg| {
+        match reg.entry(name.to_string()).or_insert_with(|| Handle::Counter(Counter::default())) {
+            Handle::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    })
+}
+
+/// Registers (or fetches) the gauge `name`.
+pub fn gauge(name: &str) -> Gauge {
+    with_registry(|reg| {
+        match reg.entry(name.to_string()).or_insert_with(|| Handle::Gauge(Gauge::default())) {
+            Handle::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    })
+}
+
+/// Registers (or fetches) the histogram `name` with the given bucket
+/// bounds. The first registration wins; later calls with different bounds
+/// get the existing histogram.
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    with_registry(|reg| {
+        match reg
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Handle::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    })
+}
+
+/// Clears the registry (between experiments / in tests).
+pub fn reset_metrics() {
+    *REGISTRY.lock() = None;
+}
+
+/// Serializable counter state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Serializable gauge state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Gauge level.
+    pub value: f64,
+}
+
+/// Serializable histogram state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Upper bucket bounds.
+    pub bounds: Vec<f64>,
+    /// Bucket counts (`bounds.len() + 1`, trailing overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Observation count.
+    pub count: u64,
+}
+
+/// Full registry snapshot, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merges another snapshot into this one. Commutative and associative:
+    /// counters and histograms add; gauges keep the maximum.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == g.name) {
+                Some(m) => m.value = m.value.max(g.value),
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => {
+                    assert_eq!(m.bounds, h.bounds, "merging histograms with different buckets");
+                    for (a, b) in m.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    m.sum += h.sum;
+                    m.count += h.count;
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.sort();
+    }
+
+    fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+}
+
+/// Snapshots every registered metric.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    with_registry(|reg| {
+        for (name, h) in reg.iter() {
+            match h {
+                Handle::Counter(c) => {
+                    snap.counters.push(CounterSnapshot { name: name.clone(), value: c.get() })
+                }
+                Handle::Gauge(g) => {
+                    snap.gauges.push(GaugeSnapshot { name: name.clone(), value: g.get() })
+                }
+                Handle::Histogram(hist) => snap.histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    bounds: hist.bounds().to_vec(),
+                    counts: hist.bucket_counts(),
+                    sum: hist.sum(),
+                    count: hist.count(),
+                }),
+            }
+        }
+    });
+    snap.sort();
+    snap
+}

@@ -1,0 +1,147 @@
+//! Span-based hierarchical wall-clock timing.
+//!
+//! `let _g = span!("train.step");` times the enclosing scope. Spans nest:
+//! each thread keeps a stack of open spans, and a span's registry key is the
+//! `/`-joined path of names from the stack root (`table3/train.step/
+//! net.forward`). On drop, the elapsed time is added to the span's own
+//! total *and* to its parent's child-time, so the report can show
+//! **self-time** (total minus children) — the number that matters when
+//! hunting tensor hot paths.
+//!
+//! Disabled (`PPN_OBS=off` or `nospans`) spans cost one relaxed atomic
+//! load; see the `obs_overhead` test in `ppn-bench`.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Default, Clone)]
+struct Node {
+    count: u64,
+    total_ns: u64,
+    child_ns: u64,
+}
+
+static REGISTRY: Mutex<Option<HashMap<String, Node>>> = Mutex::new(None);
+
+thread_local! {
+    /// Stack of open span paths on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`enter`] / the `span!` macro.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` (prefer the `span!` macro).
+#[inline]
+pub fn enter(name: &str) -> SpanGuard {
+    if !crate::spans_enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path);
+    });
+    SpanGuard { start: Some(Instant::now()) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let (path, parent) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.pop().unwrap_or_default();
+            (path, stack.last().cloned())
+        });
+        let mut reg = REGISTRY.lock();
+        let map = reg.get_or_insert_with(HashMap::new);
+        let node = map.entry(path).or_default();
+        node.count += 1;
+        node.total_ns += elapsed;
+        if let Some(parent) = parent {
+            map.entry(parent).or_default().child_ns += elapsed;
+        }
+    }
+}
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SpanStat {
+    /// `/`-joined path from the root span.
+    pub path: String,
+    /// Number of completed executions.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (includes children).
+    pub total_ns: u64,
+    /// Nanoseconds spent in child spans.
+    pub child_ns: u64,
+}
+
+impl SpanStat {
+    /// Time spent in this span excluding instrumented children.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Leaf name (last path segment).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// Snapshot of every recorded span, sorted by total time descending.
+pub fn span_stats() -> Vec<SpanStat> {
+    let reg = REGISTRY.lock();
+    let mut stats: Vec<SpanStat> = reg
+        .as_ref()
+        .map(|map| {
+            map.iter()
+                .map(|(path, n)| SpanStat {
+                    path: path.clone(),
+                    count: n.count,
+                    total_ns: n.total_ns,
+                    child_ns: n.child_ns,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    stats.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    stats
+}
+
+/// Clears the span registry (between experiments / in tests).
+pub fn reset_spans() {
+    *REGISTRY.lock() = None;
+}
+
+/// Renders the span registry as an aligned self-time report.
+pub fn span_report() -> String {
+    let stats = span_stats();
+    if stats.is_empty() {
+        return "span report: no spans recorded (PPN_OBS=off or nospans?)\n".to_string();
+    }
+    let width = stats.iter().map(|s| s.path.len()).max().unwrap_or(4).max(4);
+    let mut out = format!(
+        "{:<width$} {:>10} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total ms", "self ms", "mean µs"
+    );
+    for s in &stats {
+        out.push_str(&format!(
+            "{:<width$} {:>10} {:>12.3} {:>12.3} {:>12.2}\n",
+            s.path,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.self_ns() as f64 / 1e6,
+            s.total_ns as f64 / 1e3 / s.count.max(1) as f64,
+        ));
+    }
+    out
+}

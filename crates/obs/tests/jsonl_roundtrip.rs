@@ -1,0 +1,56 @@
+//! End-to-end JSONL sink check: events and logs written through the macros
+//! parse back with serde_json and carry the documented schema
+//! (`ts_ms` / `level` / `event` plus the event's own fields).
+
+use ppn_obs::{Level, ObsConfig};
+use serde_json::Value;
+
+#[test]
+fn events_round_trip_through_the_jsonl_sink() {
+    let path = std::env::temp_dir().join(format!("ppn-obs-rt-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    ppn_obs::init(ObsConfig {
+        stderr_level: None,
+        jsonl_level: Some(Level::Trace),
+        jsonl_path: Some(path.display().to_string()),
+        spans: true,
+        metrics: true,
+    });
+
+    ppn_obs::event!(
+        Level::Info,
+        "test.event",
+        step = 7usize,
+        reward = -0.125f64,
+        preset = "Crypto-A",
+        improved = true,
+    );
+    ppn_obs::obs_warn!("something {} happened", "odd");
+    ppn_obs::event!(Level::Trace, "test.nan", v = f64::NAN);
+    ppn_obs::sink::jsonl_flush();
+
+    let text = std::fs::read_to_string(&path).expect("jsonl file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON object per line: {text}");
+
+    let ev = Value::parse(lines[0]).expect("line 0 parses");
+    assert!(matches!(ev.field("ts_ms"), Ok(Value::Num(ms)) if *ms > 0.0));
+    assert!(matches!(ev.field("level"), Ok(Value::Str(s)) if s == "info"));
+    assert!(matches!(ev.field("event"), Ok(Value::Str(s)) if s == "test.event"));
+    assert!(matches!(ev.field("step"), Ok(Value::Num(n)) if *n == 7.0));
+    assert!(matches!(ev.field("reward"), Ok(Value::Num(r)) if *r == -0.125));
+    assert!(matches!(ev.field("preset"), Ok(Value::Str(s)) if s == "Crypto-A"));
+    assert!(matches!(ev.field("improved"), Ok(Value::Bool(true))));
+
+    let log = Value::parse(lines[1]).expect("line 1 parses");
+    assert!(matches!(log.field("level"), Ok(Value::Str(s)) if s == "warn"));
+    assert!(matches!(log.field("event"), Ok(Value::Str(s)) if s == "log"));
+    assert!(matches!(log.field("msg"), Ok(Value::Str(s)) if s == "something odd happened"));
+
+    // Non-finite floats serialize as null (JSON has no NaN) and stay
+    // parseable.
+    let nan = Value::parse(lines[2]).expect("line 2 parses");
+    assert!(matches!(nan.field("v"), Ok(Value::Null)));
+
+    let _ = std::fs::remove_file(&path);
+}

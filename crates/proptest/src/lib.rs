@@ -1,0 +1,408 @@
+//! Vendored shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`Strategy`] trait (`prop_map`, `prop_flat_map`), range and
+//! tuple strategies, `prop::collection::vec`, the [`proptest!`] macro with
+//! `#![proptest_config(…)]` support, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Deliberate simplifications versus real proptest:
+//!
+//! * **No shrinking.** A failing case reports the case index and the fixed
+//!   RNG seed; re-running the test deterministically reproduces it.
+//! * **Fixed seeding.** Cases are generated from a constant seed mixed with
+//!   the case index, so CI failures reproduce locally. Set
+//!   `PROPTEST_SEED=<u64>` to explore a different stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case: failure message or an assumption reject.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!` failure — aborts the test.
+    Fail(String),
+    /// `prop_assume!` reject — the case is skipped, not failed.
+    Reject,
+}
+
+/// RNG handed to strategies. Wraps the workspace `StdRng` shim.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Deterministic per-case RNG: constant (or `PROPTEST_SEED`) base seed
+    /// mixed with the case index.
+    pub fn for_case(case: u64) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_u64);
+        TestRng(StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    /// Next raw word (used by integer range strategies).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with `self`, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_strategy!(f64, f32);
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (((rng.next_u64() as u128) % span) as i128 + self.start as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count specification: exact or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` draws.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = (self.size.lo..self.size.hi).generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of real proptest's `prop::` path.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runs the body for each generated case; used by the [`proptest!`] macro.
+pub fn run_cases(
+    test_name: &str,
+    cfg: &ProptestConfig,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rejects = 0u64;
+    let mut case = 0u64;
+    let mut executed = 0u32;
+    while executed < cfg.cases {
+        let mut rng = TestRng::for_case(case);
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < 1 + 10 * cfg.cases as u64,
+                    "{test_name}: too many prop_assume rejects ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at case #{case}: {msg}");
+            }
+        }
+        case += 1;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                stringify!($name),
+                &__cfg,
+                |__rng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} == {} failed: {:?} vs {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} == {} failed: {:?} vs {:?}: {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.0..5.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..5.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(
+            v in prop::collection::vec(0.0..1.0f64, 4),
+            w in prop::collection::vec(0.0..1.0f64, 1..9),
+        ) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!((1..9).contains(&w.len()));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(
+            pair in (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(0.0..1.0f64, n))),
+        ) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_skips_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_context() {
+        crate::run_cases(
+            "demo",
+            &ProptestConfig::with_cases(8),
+            |_rng| -> Result<(), crate::TestCaseError> {
+                crate::prop_assert!(1 == 2);
+                Ok(())
+            },
+        );
+    }
+}

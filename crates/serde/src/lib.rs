@@ -1,0 +1,728 @@
+//! Vendored shim for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! self-contained JSON-only serialization framework under serde's names:
+//! [`Serialize`] / [`Deserialize`] traits, re-exported derive macros (from
+//! the sibling hand-rolled `serde_derive` shim), a streaming JSON writer
+//! ([`Ser`]) and a parsed JSON tree ([`Value`]). The sibling `serde_json`
+//! shim builds `to_vec` / `from_slice` / … on top of these.
+//!
+//! Intentional deviations from real serde, acceptable for this repo:
+//!
+//! * JSON is the only data format (every consumer here is JSON).
+//! * Numbers are carried as `f64`, exact for integers up to 2^53 — far
+//!   beyond any seed, step count or timestamp stored by the workspace.
+//! * Non-finite floats serialize as `null` and deserialize back as `NAN`
+//!   (real serde_json errors instead); telemetry streams prefer lossy
+//!   round-trips over aborting a run.
+//! * Derives support named-field structs and unit-variant enums — the only
+//!   shapes the workspace derives.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// New error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Streaming JSON writer. Derive-generated `Serialize` impls call the
+/// `begin_*`/`key`/`elem` methods; commas and (optionally) indentation are
+/// handled here.
+pub struct Ser {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    has_item: Vec<bool>,
+}
+
+impl Ser {
+    /// Compact writer.
+    pub fn new() -> Self {
+        Ser { out: String::new(), pretty: false, depth: 0, has_item: Vec::new() }
+    }
+
+    /// Pretty (2-space indented) writer.
+    pub fn pretty() -> Self {
+        Ser { pretty: true, ..Ser::new() }
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn before_item(&mut self) {
+        if let Some(h) = self.has_item.last_mut() {
+            if *h {
+                self.out.push(',');
+            }
+            *h = true;
+        }
+        if self.depth > 0 {
+            self.newline_indent();
+        }
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_obj(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.has_item.push(false);
+    }
+
+    /// Writes an object key; the value must follow immediately.
+    pub fn key(&mut self, name: &str) {
+        self.before_item();
+        self.write_escaped(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Closes the current object.
+    pub fn end_obj(&mut self) {
+        let had = self.has_item.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_arr(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.has_item.push(false);
+    }
+
+    /// Starts an array element; the value must follow immediately.
+    pub fn elem(&mut self) {
+        self.before_item();
+    }
+
+    /// Closes the current array.
+    pub fn end_arr(&mut self) {
+        let had = self.has_item.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes `null`.
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Writes a boolean literal.
+    pub fn write_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a finite float (non-finite becomes `null`).
+    pub fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // `{}` on f64 is shortest-roundtrip in Rust; force a decimal
+            // point or exponent so the token reads back as a float.
+            let s = format!("{v}");
+            self.out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.write_null();
+        }
+    }
+
+    /// Writes an unsigned integer.
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer.
+    pub fn write_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes an escaped JSON string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_escaped(s);
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+impl Default for Ser {
+    fn default() -> Self {
+        Ser::new()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!("expected object with `{name}`, got {other:?}"))),
+        }
+    }
+
+    /// Parses JSON text.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::msg(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.value()?;
+                    pairs.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("non-utf8 number"))?;
+        text.parse::<f64>().map(Value::Num).map_err(|_| Error::msg(format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u digits"))?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::msg(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("non-utf8 string"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// JSON-serializable types.
+pub trait Serialize {
+    /// Writes `self` into the JSON writer.
+    fn serialize(&self, s: &mut Ser);
+}
+
+/// JSON-deserializable types.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a parsed JSON value.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Ser) {
+        s.write_bool(*self);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Ser) {
+        s.write_f64(*self);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Ser) {
+        s.write_f64(*self as f64);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Ser) {
+                s.write_u64(*self as u64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Ser) {
+                s.write_i64(*self as i64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(isize, i64, i32, i16, i8);
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Ser) {
+        s.write_str(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self, s: &mut Ser) {
+        s.write_str(self);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Ser) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Ser) {
+        s.begin_arr();
+        for item in self {
+            s.elem();
+            item.serialize(s);
+        }
+        s.end_arr();
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Ser) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(v)?;
+        if items.len() != N {
+            return Err(Error::msg(format!("expected {N} elements, got {}", items.len())));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Ser) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.write_null(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn serialize(&self, s: &mut Ser) {
+        s.begin_obj();
+        for (k, v) in self {
+            s.key(k);
+            v.serialize(s);
+        }
+        s.end_obj();
+    }
+}
+
+impl<T: Deserialize> Deserialize for BTreeMap<String, T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), T::deserialize(v)?))).collect()
+            }
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Ser) {
+        (**self).serialize(s);
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self, s: &mut Ser) {
+        match self {
+            Value::Null => s.write_null(),
+            Value::Bool(b) => s.write_bool(*b),
+            Value::Num(n) => s.write_f64(*n),
+            Value::Str(t) => s.write_str(t),
+            Value::Arr(items) => {
+                s.begin_arr();
+                for item in items {
+                    s.elem();
+                    item.serialize(s);
+                }
+                s.end_arr();
+            }
+            Value::Obj(pairs) => {
+                s.begin_obj();
+                for (k, v) in pairs {
+                    s.key(k);
+                    v.serialize(s);
+                }
+                s.end_obj();
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_json() {
+        let mut s = Ser::new();
+        s.begin_obj();
+        s.key("a");
+        s.write_u64(1);
+        s.key("b");
+        s.begin_arr();
+        s.elem();
+        s.write_f64(0.5);
+        s.elem();
+        s.write_null();
+        s.end_arr();
+        s.end_obj();
+        assert_eq!(s.finish(), r#"{"a":1,"b":[0.5,null]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut s = Ser::new();
+        s.begin_obj();
+        s.key("name");
+        s.write_str("line\nbreak \"q\"");
+        s.key("xs");
+        vec![1.5f64, -2.0, 3e-9].serialize(&mut s);
+        s.end_obj();
+        let text = s.finish();
+        let v = Value::parse(&text).unwrap();
+        assert_eq!(v.field("name").unwrap(), &Value::Str("line\nbreak \"q\"".into()));
+        let xs = Vec::<f64>::deserialize(v.field("xs").unwrap()).unwrap();
+        assert_eq!(xs, vec![1.5, -2.0, 3e-9]);
+    }
+
+    #[test]
+    fn floats_keep_a_float_token() {
+        let mut s = Ser::new();
+        s.write_f64(3.0);
+        assert_eq!(s.finish(), "3.0");
+    }
+
+    #[test]
+    fn non_finite_serializes_null_and_reads_back_nan() {
+        let mut s = Ser::new();
+        f64::NAN.serialize(&mut s);
+        let text = s.finish();
+        assert_eq!(text, "null");
+        assert!(f64::deserialize(&Value::parse(&text).unwrap()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let mut s = Ser::pretty();
+        s.begin_obj();
+        s.key("k");
+        s.begin_arr();
+        s.elem();
+        s.write_u64(1);
+        s.end_arr();
+        s.end_obj();
+        let text = s.finish();
+        assert!(text.contains("\n  "));
+        Value::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let original = "héllo \u{1F600} \t end";
+        let mut s = Ser::new();
+        original.serialize(&mut s);
+        let v = Value::parse(&s.finish()).unwrap();
+        assert_eq!(String::deserialize(&v).unwrap(), original);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! No `syn`/`quote` (the build environment has no registry access): the
+//! macro walks the raw `proc_macro::TokenTree`s, supports exactly the two
+//! shapes this workspace derives — named-field structs and unit-variant
+//! enums, both without generics — and emits impls of the shim's
+//! `serde::Serialize` / `serde::Deserialize` traits as formatted source.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a named-field struct or a
+/// unit-variant enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                body.push_str(&format!(
+                    "__s.key(\"{f}\"); ::serde::Serialize::serialize(&self.{f}, __s);\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, __s: &mut ::serde::Ser) {{\n\
+                         __s.begin_obj();\n{body}__s.end_obj();\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => __s.write_str(\"{v}\"),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, __s: &mut ::serde::Ser) {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the shim's `serde::Deserialize` for a named-field struct or a
+/// unit-variant enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(__v.field(\"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{body}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__name) => match __name.as_str() {{\n\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     format!(\"unknown {name} variant {{__other}}\"))),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"expected {name} name string, got {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input down to (kind, type name, field/variant names).
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            // Outer attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derives do not support generic types");
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match (kind, word.as_str()) {
+                    (None, "struct") => kind = Some("struct"),
+                    (None, "enum") => kind = Some("enum"),
+                    (None, _) => {} // visibility etc.
+                    (Some(_), _) if name.is_none() => name = Some(word),
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace && kind.is_some() && name.is_some() =>
+            {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("serde shim derive: could not find type name");
+    let body = body.expect("serde shim derive: could not find `{ … }` body");
+    match kind {
+        Some("struct") => Item::Struct { name, fields: named_fields(body) },
+        Some("enum") => Item::Enum { name, variants: unit_variants(body) },
+        _ => panic!("serde shim derive: expected struct or enum"),
+    }
+}
+
+/// Extracts field names from a named-struct body; skips attributes,
+/// visibility, and the full type (tracking `<…>` depth so commas inside
+/// generic arguments don't end a field early).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde shim derive: unexpected token {other} in struct"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde shim derive: expected `:` after field `{field}`, got {other:?} \
+                 (tuple structs are unsupported)"
+            ),
+        }
+        fields.push(field);
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Extracts variant names from an enum body; rejects payload-carrying
+/// variants, which the shim does not support.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    panic!(
+                        "serde shim derive: enum variant `{id}` carries data, \
+                         only unit variants are supported"
+                    );
+                }
+                variants.push(id.to_string());
+            }
+            other => panic!("serde shim derive: unexpected token {other} in enum"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,69 @@
+//! Vendored shim for the subset of `serde_json` this workspace uses:
+//! `to_string` / `to_vec` (plus `_pretty` variants), `from_str` /
+//! `from_slice`, and the [`Value`] tree. All encoding/decoding lives in the
+//! vendored `serde` shim; this crate only adapts its API surface.
+
+pub use serde::{Error, Value};
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = serde::Ser::new();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Serializes to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = serde::Ser::pretty();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserializes from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize(&Value::parse(text)?)
+}
+
+/// Deserializes from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_round_trip() {
+        let xs = vec![1.0f64, -0.5, 1e-12];
+        let bytes = to_vec(&xs).unwrap();
+        let back: Vec<f64> = from_slice(&bytes).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn pretty_and_compact_parse_to_the_same_value() {
+        let xs = vec![vec![1.0f64, 2.0], vec![3.0]];
+        let a: Value = from_slice(&to_vec(&xs).unwrap()).unwrap();
+        let b: Value = from_slice(&to_vec_pretty(&xs).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_input_is_an_error_not_a_panic() {
+        assert!(from_str::<Vec<f64>>("[1.0,").is_err());
+        assert!(from_str::<Vec<f64>>("{\"a\":1}").is_err());
+        assert!(from_slice::<Vec<f64>>(&[0xff, 0xfe]).is_err());
+    }
+}

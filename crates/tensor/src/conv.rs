@@ -22,7 +22,13 @@ pub type Padding = (usize, usize, usize, usize);
 /// Output spatial size for one axis.
 ///
 /// `None` when the effective kernel extent exceeds the padded input.
-pub fn out_dim(input: usize, kernel: usize, dilation: usize, pad_lo: usize, pad_hi: usize) -> Option<usize> {
+pub fn out_dim(
+    input: usize,
+    kernel: usize,
+    dilation: usize,
+    pad_lo: usize,
+    pad_hi: usize,
+) -> Option<usize> {
     let eff = dilation * (kernel - 1) + 1;
     let padded = input + pad_lo + pad_hi;
     padded.checked_sub(eff).map(|d| d + 1)
@@ -52,10 +58,12 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) 
     assert_eq!(cin, cin2, "conv channels: input {cin} vs kernel {cin2}");
     let (dh, dw) = dilation;
     let (pt, pb, pl, pr) = pad;
-    let oh = out_dim(h, kh, dh, pt, pb)
-        .unwrap_or_else(|| panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for H={h} pad=({pt},{pb})"));
-    let ow = out_dim(wid, kw, dw, pl, pr)
-        .unwrap_or_else(|| panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for W={wid} pad=({pl},{pr})"));
+    let oh = out_dim(h, kh, dh, pt, pb).unwrap_or_else(|| {
+        panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for H={h} pad=({pt},{pb})")
+    });
+    let ow = out_dim(wid, kw, dw, pl, pr).unwrap_or_else(|| {
+        panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for W={wid} pad=({pl},{pr})")
+    });
 
     let xd = x.data();
     let wd = w.data();
@@ -229,7 +237,12 @@ mod tests {
         };
         let w = Tensor::from_vec(&[1, 1, 1, 3], vec![0.5, -1.0, 2.0]);
         let (pl, pr) = causal_padding(3, 1);
-        let y1 = conv2d_forward(&Tensor::from_vec(&[1, 1, 1, 5], x1.clone()), &w, (1, 1), (0, 0, pl, pr));
+        let y1 = conv2d_forward(
+            &Tensor::from_vec(&[1, 1, 1, 5], x1.clone()),
+            &w,
+            (1, 1),
+            (0, 0, pl, pr),
+        );
         let y2 = conv2d_forward(&Tensor::from_vec(&[1, 1, 1, 5], x2), &w, (1, 1), (0, 0, pl, pr));
         // First four outputs identical, only the last may differ.
         for t in 0..4 {

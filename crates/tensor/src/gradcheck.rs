@@ -26,7 +26,12 @@ pub struct GradCheckReport {
 ///
 /// # Panics
 /// Panics if `loss_fn` produces a non-scalar node.
-pub fn gradcheck<F>(store: &mut ParamStore, mut loss_fn: F, eps: f64, stride: usize) -> GradCheckReport
+pub fn gradcheck<F>(
+    store: &mut ParamStore,
+    mut loss_fn: F,
+    eps: f64,
+    stride: usize,
+) -> GradCheckReport
 where
     F: FnMut(&mut Graph, &Binding) -> NodeId,
 {

@@ -428,7 +428,12 @@ impl Graph {
     /// # Panics
     /// Panics if `output` is not a scalar.
     pub fn backward(&mut self, output: NodeId) {
-        assert_eq!(self.value(output).len(), 1, "backward needs a scalar output, got {:?}", self.value(output).shape());
+        assert_eq!(
+            self.value(output).len(),
+            1,
+            "backward needs a scalar output, got {:?}",
+            self.value(output).shape()
+        );
         self.backward_with(output, Tensor::from_vec(self.value(output).shape(), vec![1.0]));
     }
 
@@ -584,8 +589,7 @@ impl Graph {
                 for o in 0..outer {
                     let src = &g.data()[o * inner..(o + 1) * inner];
                     for m in 0..mid {
-                        gx[(o * mid + m) * inner..(o * mid + m + 1) * inner]
-                            .copy_from_slice(src);
+                        gx[(o * mid + m) * inner..(o * mid + m + 1) * inner].copy_from_slice(src);
                     }
                 }
                 self.accumulate(x, Tensor::from_vec(&xs, gx));

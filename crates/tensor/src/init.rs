@@ -5,7 +5,12 @@ use rand::Rng;
 
 /// Xavier/Glorot-uniform initialisation for a `(fan_in, fan_out)` matrix
 /// shape. For convolution kernels pass the receptive-field-adjusted fans.
-pub fn xavier_uniform<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
     let n: usize = shape.iter().product();
     let data = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();

@@ -89,7 +89,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn layer(kind: ConvKind, kernel: (usize, usize), dil: (usize, usize)) -> (ParamStore, Conv2dLayer) {
+    fn layer(
+        kind: ConvKind,
+        kernel: (usize, usize),
+        dil: (usize, usize),
+    ) -> (ParamStore, Conv2dLayer) {
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let l = Conv2dLayer::new(&mut store, &mut rng, "c", 4, 8, kernel, dil, kind);
@@ -111,7 +115,16 @@ mod tests {
         let (store, l) = {
             let mut rng = StdRng::seed_from_u64(0);
             let mut store = ParamStore::new();
-            let l = Conv2dLayer::new(&mut store, &mut rng, "c", 4, 8, (5, 1), (1, 1), ConvKind::CorrelationalSame);
+            let l = Conv2dLayer::new(
+                &mut store,
+                &mut rng,
+                "c",
+                4,
+                8,
+                (5, 1),
+                (1, 1),
+                ConvKind::CorrelationalSame,
+            );
             (store, l)
         };
         let mut g = Graph::new();

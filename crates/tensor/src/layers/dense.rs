@@ -25,7 +25,8 @@ impl Dense {
         in_dim: usize,
         out_dim: usize,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim));
+        let w = store
+            .add(format!("{name}.w"), xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim));
         let b = store.add(format!("{name}.b"), Tensor::zeros(&[out_dim]));
         Dense { w, b, in_dim, out_dim }
     }
@@ -65,8 +66,7 @@ mod tests {
         let layer = Dense::new(&mut store, &mut rng, "fc", 2, 1);
         // Target function: y = 2 x0 - x1 + 0.5
         let xs = Tensor::randn(&mut rng, &[64, 2], 1.0);
-        let ys: Vec<f64> =
-            (0..64).map(|i| 2.0 * xs.at(&[i, 0]) - xs.at(&[i, 1]) + 0.5).collect();
+        let ys: Vec<f64> = (0..64).map(|i| 2.0 * xs.at(&[i, 0]) - xs.at(&[i, 1]) + 0.5).collect();
         let yt = Tensor::from_vec(&[64, 1], ys);
         let mut opt = Adam::new(0.05);
         let mut last = f64::INFINITY;

@@ -33,14 +33,10 @@ impl Lstm {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let w = store.add(
-            format!("{name}.w"),
-            xavier_uniform(rng, &[in_dim, 4 * hidden], in_dim, hidden),
-        );
-        let u = store.add(
-            format!("{name}.u"),
-            xavier_uniform(rng, &[hidden, 4 * hidden], hidden, hidden),
-        );
+        let w = store
+            .add(format!("{name}.w"), xavier_uniform(rng, &[in_dim, 4 * hidden], in_dim, hidden));
+        let u = store
+            .add(format!("{name}.u"), xavier_uniform(rng, &[hidden, 4 * hidden], hidden, hidden));
         let mut bias = Tensor::zeros(&[4 * hidden]);
         for j in hidden..2 * hidden {
             bias.data_mut()[j] = 1.0; // forget gate
@@ -154,7 +150,8 @@ mod tests {
         let mut final_loss = f64::INFINITY;
         for _ in 0..250 {
             // First step carries the signal; the rest is small noise.
-            let signal: Vec<f64> = (0..batch).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let signal: Vec<f64> =
+                (0..batch).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
             let mut seq = vec![Tensor::from_vec(&[batch, 1], signal.clone())];
             for _ in 1..seq_len {
                 seq.push(Tensor::randn(&mut rng, &[batch, 1], 0.1));

@@ -12,15 +12,7 @@ use crate::shape::{self, broadcast, numel};
 fn broadcast_strides(src: &[usize], out: &[usize]) -> Vec<usize> {
     let skip = out.len() - src.len();
     let st = shape::strides(src);
-    (0..out.len())
-        .map(|d| {
-            if d < skip || src[d - skip] == 1 {
-                0
-            } else {
-                st[d - skip]
-            }
-        })
-        .collect()
+    (0..out.len()).map(|d| if d < skip || src[d - skip] == 1 { 0 } else { st[d - skip] }).collect()
 }
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -397,11 +389,7 @@ impl Tensor {
     /// Max absolute difference against another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
         assert_eq!(self.shape, other.shape);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

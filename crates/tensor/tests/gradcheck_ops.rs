@@ -26,10 +26,7 @@ where
     F: FnMut(&mut Graph, &ppn_tensor::Binding) -> NodeId,
 {
     let report = gradcheck(store, f, EPS, 1);
-    assert!(
-        report.max_rel_err < TOL,
-        "gradcheck failed: {report:?}"
-    );
+    assert!(report.max_rel_err < TOL, "gradcheck failed: {report:?}");
 }
 
 fn pid(store: &ParamStore, i: usize) -> ppn_tensor::ParamId {

@@ -49,7 +49,7 @@ proptest! {
         let y = g.softmax(x);
         let v = g.value(y);
         for &p in v.data() {
-            prop_assert!(p >= 0.0 && p <= 1.0);
+            prop_assert!((0.0..=1.0).contains(&p));
         }
         for r in 0..2 {
             let s: f64 = v.data()[r * 4..(r + 1) * 4].iter().sum();

@@ -29,13 +29,21 @@ fn main() {
         ds.assets(),
         range.len()
     );
-    println!("{:<10} {:>10} {:>8} {:>10} {:>8} {:>8}", "Algo", "APV", "SR(%)", "CR", "MDD(%)", "TO");
+    println!(
+        "{:<10} {:>10} {:>8} {:>10} {:>8} {:>8}",
+        "Algo", "APV", "SR(%)", "CR", "MDD(%)", "TO"
+    );
     for mut p in standard_suite(&ds, range.clone()) {
         let r = run_backtest(&ds, p.as_mut(), 0.0025, range.clone());
         let m = r.metrics;
         println!(
             "{:<10} {:>10.3} {:>8.2} {:>10.2} {:>8.1} {:>8.3}",
-            r.name, m.apv, m.sharpe_pct, m.calmar, m.mdd * 100.0, m.turnover
+            r.name,
+            m.apv,
+            m.sharpe_pct,
+            m.calmar,
+            m.mdd * 100.0,
+            m.turnover
         );
     }
 }

@@ -11,9 +11,7 @@
 //! ```
 
 use ppn_repro::core::prelude::*;
-use ppn_repro::market::{
-    cost_proportion, prop4_bounds, run_backtest, test_range, Dataset, Preset,
-};
+use ppn_repro::market::{cost_proportion, prop4_bounds, run_backtest, test_range, Dataset, Preset};
 
 fn main() {
     // --- Proposition 4 on a concrete rebalance --------------------------

@@ -31,13 +31,24 @@ fn main() {
     let result = run_backtest(&ds, &mut ppn, 0.0025, test_range(&ds));
     let m = result.metrics;
     println!("\nPPN on the test split:");
-    println!("  APV {:.3}  SR {:.2}%  CR {:.2}  MDD {:.1}%  TO {:.3}",
-        m.apv, m.sharpe_pct, m.calmar, m.mdd * 100.0, m.turnover);
+    println!(
+        "  APV {:.3}  SR {:.2}%  CR {:.2}  MDD {:.1}%  TO {:.3}",
+        m.apv,
+        m.sharpe_pct,
+        m.calmar,
+        m.mdd * 100.0,
+        m.turnover
+    );
 
     // 4. Compare with uniform CRP under the same costs.
     let crp = run_backtest(&ds, &mut ppn_repro::baselines::Crp, 0.0025, test_range(&ds));
     println!("CRP on the test split:");
-    println!("  APV {:.3}  SR {:.2}%  CR {:.2}  MDD {:.1}%  TO {:.3}",
-        crp.metrics.apv, crp.metrics.sharpe_pct, crp.metrics.calmar,
-        crp.metrics.mdd * 100.0, crp.metrics.turnover);
+    println!(
+        "  APV {:.3}  SR {:.2}%  CR {:.2}  MDD {:.1}%  TO {:.3}",
+        crp.metrics.apv,
+        crp.metrics.sharpe_pct,
+        crp.metrics.calmar,
+        crp.metrics.mdd * 100.0,
+        crp.metrics.turnover
+    );
 }

@@ -47,7 +47,13 @@ fn preset_from(flags: &HashMap<String, String>) -> Result<Preset, String> {
 fn print_metrics(name: &str, m: &ppn_repro::market::Metrics) {
     println!(
         "{:<10} APV {:>9.3}  SR {:>7.2}%  CR {:>9.2}  MDD {:>5.1}%  STD {:>5.2}%  TO {:>6.3}",
-        name, m.apv, m.sharpe_pct, m.calmar, m.mdd * 100.0, m.std_pct, m.turnover
+        name,
+        m.apv,
+        m.sharpe_pct,
+        m.calmar,
+        m.mdd * 100.0,
+        m.std_pct,
+        m.turnover
     );
 }
 
@@ -69,7 +75,10 @@ fn cmd_train(flags: HashMap<String, String>) -> Result<(), String> {
         flags.get("psi").map_or(Ok(0.0025), |s| s.parse().map_err(|_| "bad --psi".to_string()))?;
 
     let ds = Dataset::load(preset);
-    println!("Training {variant_name} on {} for {steps} steps (λ={lambda:e}, γ={gamma:e}, ψ={psi}) ...", preset.name());
+    println!(
+        "Training {variant_name} on {} for {steps} steps (λ={lambda:e}, γ={gamma:e}, ψ={psi}) ...",
+        preset.name()
+    );
     let reward = RewardConfig { lambda, gamma, psi };
     let train = TrainConfig { steps, ..TrainConfig::default() };
     let mut trainer = Trainer::new(&ds, variant, reward, train);

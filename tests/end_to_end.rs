@@ -74,9 +74,7 @@ fn net_policy_and_baseline_share_harness_accounting() {
 #[test]
 fn higher_costs_never_help_a_fixed_policy() {
     let ds = Dataset::load(Preset::CryptoA);
-    let apv = |psi: f64| {
-        run_backtest(&ds, &mut Crp, psi, test_range(&ds)).metrics.apv
-    };
+    let apv = |psi: f64| run_backtest(&ds, &mut Crp, psi, test_range(&ds)).metrics.apv;
     let free = apv(0.0);
     let cheap = apv(0.001);
     let dear = apv(0.01);
@@ -109,8 +107,5 @@ fn gamma_extreme_suppresses_turnover_during_training() {
     };
     let free = mean_to_tail(0.0);
     let constrained = mean_to_tail(100.0);
-    assert!(
-        constrained < free,
-        "gamma=100 mean turnover {constrained} not below gamma=0 {free}"
-    );
+    assert!(constrained < free, "gamma=100 mean turnover {constrained} not below gamma=0 {free}");
 }
