@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-baselines
 //!
 //! The thirteen classic online portfolio-selection baselines the paper

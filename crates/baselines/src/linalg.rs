@@ -26,7 +26,7 @@ pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Vec<f64> {
         let d = a[col * n + col];
         for r in (col + 1)..n {
             let f = a[r * n + col] / d;
-            if f == 0.0 {
+            if ppn_tensor::approx::is_zero(f) {
                 continue;
             }
             for c in col..n {

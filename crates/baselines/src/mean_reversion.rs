@@ -97,7 +97,7 @@ fn pa_step_toward(b: &[f64], pred: &[f64], epsilon: f64) -> Vec<f64> {
     let denom = sq_dev_norm(pred);
     let lam =
         if denom > 1e-12 { ((epsilon - portfolio_return(b, pred)) / denom).max(0.0) } else { 0.0 };
-    if lam == 0.0 {
+    if ppn_tensor::approx::is_zero(lam) {
         return b.to_vec();
     }
     let pm = mean(pred);
@@ -205,13 +205,14 @@ impl Rmr {
     /// with prices reconstructed from relatives normalised to `p_t = 1`.
     pub fn prediction(history: &[Vec<f64>], w: usize) -> Vec<f64> {
         let n = history.last().map_or(0, Vec::len);
-        // prices[j] = p_{t−j} / p_t, j = 0..w−1
-        let mut prices = vec![vec![1.0; n]];
+        // prices[j] = p_{t−j} / p_t, j = 0..w−1, carried as a running vector
+        let mut cur = vec![1.0; n];
+        let mut prices = vec![cur.clone()];
         let avail = history.len().min(w.saturating_sub(1));
         for j in 0..avail {
             let x = &history[history.len() - 1 - j];
-            let prev = prices.last().unwrap().clone();
-            prices.push(prev.iter().zip(x).map(|(&p, &xi)| p / xi.max(1e-12)).collect());
+            cur = cur.iter().zip(x).map(|(&p, &xi)| p / xi.max(1e-12)).collect();
+            prices.push(cur.clone());
         }
         l1_median(&prices, 64, 1e-9)
     }

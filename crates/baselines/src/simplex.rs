@@ -3,11 +3,12 @@
 /// Euclidean projection onto the probability simplex (Duchi et al., 2008).
 ///
 /// Returns the unique `p` minimising `‖p − v‖₂` with `p ≥ 0, Σp = 1`.
+// ppn-check: contract(simplex)
 pub fn project_simplex(v: &[f64]) -> Vec<f64> {
     let n = v.len();
     assert!(n > 0, "projection of empty vector");
     let mut u: Vec<f64> = v.to_vec();
-    u.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    u.sort_by(|a, b| b.total_cmp(a));
     let mut css = 0.0;
     let mut rho = 0;
     let mut theta = 0.0;
@@ -29,13 +30,18 @@ pub fn project_simplex(v: &[f64]) -> Vec<f64> {
             // Put all mass on the largest coordinate(s): the correct limit
             // for inputs whose spread dwarfs the unit budget.
             let mx = u[0];
-            let ties = v.iter().filter(|&&x| x == mx).count().max(1);
-            return v.iter().map(|&x| if x == mx { 1.0 / ties as f64 } else { 0.0 }).collect();
+            let eq = ppn_tensor::approx::exact_eq;
+            let ties = v.iter().filter(|&&x| eq(x, mx)).count().max(1);
+            let p: Vec<f64> =
+                v.iter().map(|&x| if eq(x, mx) { 1.0 / ties as f64 } else { 0.0 }).collect();
+            ppn_market::contracts::assert_simplex(&p, "project_simplex (degenerate limit)");
+            return p;
         }
         for x in &mut p {
             *x /= s;
         }
     }
+    ppn_market::contracts::assert_simplex(&p, "project_simplex");
     p
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-bench
 //!
 //! Experiment harness reproducing every table and figure of the paper's

@@ -1,0 +1,8 @@
+//! Fixture: malformed allow-comments are diagnostics themselves.
+
+pub fn f(xs: &[f64]) -> f64 {
+    // ppn-check: allow(no-panic)
+    let a = *xs.first().unwrap();
+    // ppn-check: allow(not-a-rule) some reason
+    a
+}

@@ -1,0 +1,6 @@
+//! Fixture: a well-formed allow-comment suppresses exactly its finding.
+
+pub fn f(xs: &[f64]) -> f64 {
+    // ppn-check: allow(no-panic) invariant: validated non-empty by the caller
+    *xs.first().expect("non-empty")
+}

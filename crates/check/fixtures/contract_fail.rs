@@ -1,0 +1,19 @@
+//! Fixture: contract tags without backing invariant calls.
+
+// ppn-check: contract(simplex)
+pub fn project(v: &[f64]) -> Vec<f64> {
+    v.to_vec()
+}
+
+// ppn-check: contract(finite)
+pub fn reward(x: f64) -> f64 {
+    x.ln()
+}
+
+// ppn-check: contract(bogus)
+pub fn unknown_kind(x: f64) -> f64 {
+    x
+}
+
+// ppn-check: contract(simplex)
+pub const DETACHED: f64 = 1.0;

@@ -1,0 +1,17 @@
+//! Fixture: contract tags backed by the matching invariant calls.
+
+use ppn_market::contracts::{assert_finite, assert_simplex};
+
+// ppn-check: contract(simplex)
+pub fn project(v: &[f64]) -> Vec<f64> {
+    let p = v.to_vec();
+    assert_simplex(&p, "project");
+    p
+}
+
+// ppn-check: contract(finite)
+pub fn reward(x: f64) -> f64 {
+    let r = x.ln();
+    assert_finite(&[r], "reward");
+    r
+}

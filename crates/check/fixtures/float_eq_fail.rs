@@ -1,0 +1,8 @@
+//! Fixture: exact float equality against literals.
+
+pub fn degenerate(psi: f64, dd: f64) -> bool {
+    if psi == 0.0 {
+        return true;
+    }
+    dd != 1.5
+}

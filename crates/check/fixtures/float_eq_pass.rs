@@ -1,0 +1,8 @@
+//! Fixture: tolerance-based comparisons and integer equality are fine.
+
+pub fn ok(psi: f64, n: usize, tol: f64) -> bool {
+    let near = (psi - 1.0).abs() <= tol;
+    let int_eq = n == 0;
+    let ord = psi <= 0.5 && psi >= 0.1;
+    near && int_eq && ord
+}

@@ -1,0 +1,12 @@
+//! Fixture: HashMap iteration order leaking into serialized output.
+
+use std::collections::HashMap;
+
+pub fn render() -> String {
+    let reg: HashMap<String, u64> = HashMap::new();
+    let mut out = String::new();
+    for (k, v) in reg.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

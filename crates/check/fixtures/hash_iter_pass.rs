@@ -1,0 +1,20 @@
+//! Fixture: hash containers are fine when consumed through a sort or an
+//! order-insensitive reduction.
+
+use std::collections::HashMap;
+
+pub fn render_sorted() -> String {
+    let reg: HashMap<String, u64> = HashMap::new();
+    let mut rows: Vec<(String, u64)> = reg.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (k, v) in rows {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn total() -> u64 {
+    let reg: HashMap<String, u64> = HashMap::new();
+    reg.values().map(|v| *v).sum()
+}

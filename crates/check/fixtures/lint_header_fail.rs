@@ -1,0 +1,3 @@
+//! Fixture: a crate root with neither lint header.
+
+pub fn noop() {}

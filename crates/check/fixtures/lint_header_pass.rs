@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture: a crate root carrying both required lint headers.
+
+/// Does nothing.
+pub fn noop() {}

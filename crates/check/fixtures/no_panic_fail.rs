@@ -1,0 +1,13 @@
+//! Fixture: panics in library code of a panic-free crate.
+
+pub fn lookup(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if xs.len() > 3 {
+        panic!("too many");
+    }
+    if xs.is_empty() {
+        todo!()
+    }
+    first + last
+}

@@ -1,0 +1,27 @@
+//! Fixture: unwraps confined to test code, allow-comments, strings, and
+//! non-matching identifiers are all fine.
+
+pub fn describe() -> String {
+    // A string literal mentioning .unwrap() must never match.
+    let msg = "never call .unwrap() in prod";
+    let not_todo_marker = has_panic_handler();
+    format!("{msg} {not_todo_marker}")
+}
+
+fn has_panic_handler() -> bool {
+    false
+}
+
+pub fn justified(xs: &[f64]) -> f64 {
+    // ppn-check: allow(no-panic) invariant: caller guarantees non-empty input
+    *xs.first().expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = vec![1.0];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

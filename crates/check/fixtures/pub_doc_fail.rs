@@ -1,0 +1,7 @@
+//! Fixture: public items without doc comments.
+
+pub fn undocumented() {}
+
+pub struct Bare {
+    pub field: f64,
+}

@@ -1,0 +1,18 @@
+//! Fixture: every public item documented; private items need nothing.
+
+/// A documented function.
+pub fn documented() {}
+
+/// A documented struct.
+#[derive(Clone)]
+pub struct Covered {
+    /// A documented field.
+    pub field: f64,
+}
+
+fn private_needs_no_doc() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_are_exempt() {}
+}

@@ -1,0 +1,76 @@
+//! `ppn-check` — workspace lint gate. See the `ppn_check` crate docs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {} // the default (and only) scan mode; kept for clarity
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ppn-check: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: ppn-check [--all] [--root PATH] [--list]\n\
+                     Lints first-party workspace crates; exits non-zero on any diagnostic.\n\
+                     Allow a finding with `// ppn-check: allow(rule-id) reason`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ppn-check: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list {
+        println!("{:<12} description", "rule");
+        for rule in ppn_check::rules::registry() {
+            println!(
+                "{:<12} {}",
+                rule.id,
+                rule.description.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = root.or_else(|| ppn_check::find_workspace_root(&cwd)) else {
+        eprintln!("ppn-check: no workspace root found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    match ppn_check::run(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.is_clean() {
+                println!(
+                    "ppn-check: clean — {} files scanned, {} shim crates exempt",
+                    report.files, report.shims_skipped
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "ppn-check: {} diagnostic(s) across {} files",
+                    report.diagnostics.len(),
+                    report.files
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ppn-check: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,580 @@
+//! The rule registry and every rule implementation.
+//!
+//! Each rule has a stable kebab-case id, a one-line description, and a
+//! checker that maps a scanned [`SourceFile`] to diagnostics. Rules are
+//! line-oriented heuristics, deliberately biased toward *no false negatives
+//! on the bug classes they target* — a justified exception is annotated in
+//! the source with `// ppn-check: allow(rule-id) reason` (handled by the
+//! engine, not the individual rules).
+
+use crate::scanner::{Role, SourceFile};
+
+/// One finding: `path:line` plus the violated rule and a message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: error[{}]: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A registered rule.
+pub struct Rule {
+    /// Stable kebab-case identifier used in diagnostics and allow-comments.
+    pub id: &'static str,
+    /// One-line description for `--list`.
+    pub description: &'static str,
+    check: fn(&SourceFile) -> Vec<Diagnostic>,
+}
+
+/// Crates whose library code must be panic-free (rule `no-panic`).
+const PANIC_FREE_CRATES: [&str; 4] = ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor"];
+/// Crates whose library code must avoid exact float equality (`float-eq`).
+const FLOAT_EQ_CRATES: [&str; 5] =
+    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs"];
+/// Crates whose public items must carry doc comments (`pub-doc`).
+const PUB_DOC_CRATES: [&str; 2] = ["ppn-core", "ppn-market"];
+
+/// The full rule set, in reporting order.
+pub fn registry() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "no-panic",
+            description: "no unwrap()/expect()/panic!/todo!/unimplemented! in library code of \
+                          core, market, baselines, tensor",
+            check: check_no_panic,
+        },
+        Rule {
+            id: "float-eq",
+            description: "no exact f64 equality (==/!= against float literals) outside the \
+                          whitelisted approx helper module",
+            check: check_float_eq,
+        },
+        Rule {
+            id: "hash-iter",
+            description: "no HashMap/HashSet iteration feeding output without a subsequent \
+                          sort in the same function (determinism)",
+            check: check_hash_iter,
+        },
+        Rule {
+            id: "lint-header",
+            description: "crate roots must declare #![forbid(unsafe_code)] and a missing_docs \
+                          lint header",
+            check: check_lint_header,
+        },
+        Rule {
+            id: "pub-doc",
+            description: "every public item in core and market carries a doc comment",
+            check: check_pub_doc,
+        },
+        Rule {
+            id: "contract",
+            description: "// ppn-check: contract(simplex|finite) tags must be backed by a \
+                          matching assert_simplex/assert_finite invariant call in the tagged fn",
+            check: check_contract,
+        },
+    ]
+}
+
+/// Runs every rule against one scanned file (allow-comments not yet applied).
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in registry() {
+        out.extend((rule.check)(file));
+    }
+    out
+}
+
+fn diag(file: &SourceFile, line0: usize, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic { path: file.path.clone(), line: line0 + 1, rule, message }
+}
+
+// ---------------------------------------------------------------- no-panic
+
+const PANIC_PATTERNS: [(&str, &str); 5] = [
+    (".unwrap()", "unwrap() can panic"),
+    (".expect(", "expect() can panic"),
+    ("panic!", "explicit panic!"),
+    ("todo!", "todo! placeholder"),
+    ("unimplemented!", "unimplemented! placeholder"),
+];
+
+fn check_no_panic(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.role != Role::Lib || !PANIC_FREE_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        for (pat, why) in PANIC_PATTERNS {
+            if let Some(at) = line.code.find(pat) {
+                // Macro patterns must sit on a word boundary so identifiers
+                // like `not_todo!` or `has_panic!` never match; the method
+                // patterns already anchor on their leading `.`.
+                let before = pat.starts_with('.')
+                    || at == 0
+                    || !is_ident_char(line.code.as_bytes()[at - 1] as char);
+                if before {
+                    out.push(diag(
+                        file,
+                        i,
+                        "no-panic",
+                        format!("{why} in library code (`{}`)", line.code.trim()),
+                    ));
+                    break; // one diagnostic per line is enough
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- float-eq
+
+fn check_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.role != Role::Lib
+        || !FLOAT_EQ_CRATES.contains(&file.crate_name.as_str())
+        || file.path.ends_with("approx.rs")
+    {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        if let Some(op) = find_float_eq(&line.code) {
+            out.push(diag(
+                file,
+                i,
+                "float-eq",
+                format!(
+                    "exact float equality `{op}` — use ppn_tensor::approx::{{is_zero, approx_eq}} \
+                     (`{}`)",
+                    line.code.trim()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Finds an `==`/`!=` comparison whose neighbourhood contains a float
+/// literal (`1.0`, `0.5e-3`, `1f64`, …). Returns the offending snippet.
+fn find_float_eq(code: &str) -> Option<String> {
+    // Work on bytes so arbitrary (non-ASCII) text never lands a slice inside
+    // a multi-byte char: every index we slice at sits next to an ASCII byte.
+    let bytes = code.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let is_eq = bytes[i] == b'=' && bytes[i + 1] == b'=';
+        let is_ne = bytes[i] == b'!' && bytes[i + 1] == b'=';
+        if !is_eq && !is_ne {
+            continue;
+        }
+        // Exclude <=, >=, =>, ===-like runs, pattern guards `=>`, and `!`.
+        let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+        let next = if i + 2 < bytes.len() { bytes[i + 2] } else { b' ' };
+        if is_eq && matches!(prev, b'<' | b'>' | b'!' | b'=' | b'+' | b'-' | b'*' | b'/' | b'%') {
+            continue;
+        }
+        if next == b'=' {
+            continue;
+        }
+        let left = operand(&code[..i], true);
+        let right = operand(&code[i + 2..], false);
+        if contains_float_literal(left) || contains_float_literal(right) {
+            let two = if is_eq { "==" } else { "!=" };
+            return Some(format!("{} {two} {}", left.trim(), right.trim()));
+        }
+    }
+    None
+}
+
+/// The operand text adjacent to a comparison, clipped at expression
+/// boundaries that cannot be part of a simple comparand.
+fn operand(s: &str, leftward: bool) -> &str {
+    const STOPS: [char; 8] = [',', ';', '(', ')', '{', '}', '&', '|'];
+    if leftward {
+        match s.rfind(STOPS) {
+            Some(p) => &s[p + 1..],
+            None => s,
+        }
+    } else {
+        match s.find(STOPS) {
+            Some(p) => &s[..p],
+            None => s,
+        }
+    }
+}
+
+/// True when `s` contains a floating-point literal: `<digit>.<digit>`,
+/// an exponent form, or an `f32`/`f64` suffix on a number.
+fn contains_float_literal(s: &str) -> bool {
+    let b = s.as_bytes();
+    for i in 0..b.len() {
+        if b[i] == b'.'
+            && i > 0
+            && b[i - 1].is_ascii_digit()
+            && i + 1 < b.len()
+            && b[i + 1].is_ascii_digit()
+        {
+            return true;
+        }
+        // `b[i] == b'f'` guarantees `i` is a char boundary before slicing.
+        if b[i] == b'f'
+            && i > 0
+            && b[i - 1].is_ascii_digit()
+            && (s[i..].starts_with("f64") || s[i..].starts_with("f32"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- hash-iter
+
+const ITER_METHODS: [&str; 5] = [".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()"];
+const SORT_MARKERS: [&str; 5] =
+    [".sort()", ".sort_by", ".sort_unstable", ".sort_by_key", "BTreeMap"];
+/// Order-insensitive reductions: consuming an unordered iterator through one
+/// of these is deterministic regardless of iteration order.
+const REDUCTIONS: [&str; 7] =
+    [".max()", ".min()", ".sum::<", ".sum()", ".count()", ".len()", ".fold("];
+
+fn check_hash_iter(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.role != Role::Lib || !file.crate_name.starts_with("ppn") {
+        return Vec::new();
+    }
+    // Pass 1: collect identifiers whose declaring line mentions a hash
+    // container (let/static/field/param), or that are bound from one.
+    let mut hashy: Vec<String> = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for line in &file.lines {
+            let code = &line.code;
+            let mentions_hash = code.contains("HashMap") || code.contains("HashSet");
+            let mentions_hashy_ident = hashy.iter().any(|n| has_word(code, n));
+            if !mentions_hash && !mentions_hashy_ident {
+                continue;
+            }
+            for name in declared_idents(code) {
+                if !hashy.contains(&name) {
+                    hashy.push(name);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Pass 2: flag iteration over hashy identifiers unless the enclosing
+    // function establishes order with a sort afterwards.
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        let code = &line.code;
+        let iterates = hashy.iter().any(|n| {
+            ITER_METHODS.iter().any(|m| code.contains(&format!("{n}{m}")))
+                || code.contains(&format!("in {n}")) && code.contains("for ")
+                || code.contains(&format!("in &{n}")) && code.contains("for ")
+        });
+        if !iterates {
+            continue;
+        }
+        if REDUCTIONS.iter().any(|r| code.contains(r)) {
+            continue; // commutative reduction — order cannot leak out
+        }
+        // A sort anywhere in the enclosing function establishes order,
+        // whether it runs before the loop or after a collect.
+        let sorted_in_fn = file.enclosing_fn(i).is_some_and(|(start, end)| {
+            (start..=end).any(|j| SORT_MARKERS.iter().any(|s| file.lines[j].code.contains(s)))
+        });
+        if !sorted_in_fn {
+            out.push(diag(
+                file,
+                i,
+                "hash-iter",
+                format!(
+                    "HashMap/HashSet iteration without a subsequent sort — output order is \
+                     nondeterministic (`{}`)",
+                    code.trim()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Identifier names declared on this line next to a container type:
+/// `let [mut] NAME`, `static NAME:`, struct field `NAME:`, fn param `NAME:`.
+fn declared_idents(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let t = code.trim();
+    for kw in ["let mut ", "let ", "static mut ", "static "] {
+        if let Some(rest) = t.strip_prefix(kw) {
+            if let Some(name) = leading_ident(rest) {
+                out.push(name);
+            }
+            return out;
+        }
+    }
+    // Field or binding of the form `name: ...HashMap...` / `name = ...`.
+    if let Some(colon) = t.find([':', '=']) {
+        if let Some(name) = leading_ident(t) {
+            if name.len() == t[..colon].trim_end().len() {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let ident: String = s.chars().take_while(|&c| c.is_alphanumeric() || c == '_').collect();
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = code[from..].find(word) {
+        let at = from + p;
+        let before = at == 0
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_';
+        let after_idx = at + word.len();
+        let after = after_idx >= code.len()
+            || !code.as_bytes()[after_idx].is_ascii_alphanumeric()
+                && code.as_bytes()[after_idx] != b'_';
+        if before && after {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+// ------------------------------------------------------------- lint-header
+
+fn check_lint_header(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.path.ends_with("lib.rs") || !file.crate_name.starts_with("ppn") {
+        return Vec::new();
+    }
+    let head: String = file.lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+    let mut out = Vec::new();
+    if !head.contains("#![forbid(unsafe_code)]") {
+        out.push(diag(file, 0, "lint-header", "crate root missing #![forbid(unsafe_code)]".into()));
+    }
+    if !head.contains("#![warn(missing_docs)]") && !head.contains("#![deny(missing_docs)]") {
+        out.push(diag(
+            file,
+            0,
+            "lint-header",
+            "crate root missing #![warn(missing_docs)] (or deny)".into(),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- pub-doc
+
+const PUB_ITEM_KEYWORDS: [&str; 9] =
+    ["fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union"];
+
+fn check_pub_doc(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.role != Role::Lib || !PUB_DOC_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        let t = line.code.trim();
+        let Some(rest) = t.strip_prefix("pub ") else { continue };
+        let is_item = PUB_ITEM_KEYWORDS
+            .iter()
+            .any(|kw| rest.starts_with(kw) && rest[kw.len()..].starts_with([' ', '<']))
+            || rest.starts_with("unsafe ")
+            || is_pub_field(rest);
+        if !is_item {
+            continue;
+        }
+        if !has_doc_above(file, i) {
+            out.push(diag(
+                file,
+                i,
+                "pub-doc",
+                format!("public item missing doc comment (`{}`)", t),
+            ));
+        }
+    }
+    out
+}
+
+/// A struct field `name: Type,` — an identifier immediately followed by `:`
+/// (but not `::`), ending in `,` or nothing.
+fn is_pub_field(rest: &str) -> bool {
+    let Some(name) = leading_ident(rest) else { return false };
+    let after = &rest[name.len()..];
+    after.starts_with(':') && !after.starts_with("::")
+}
+
+/// True when the nearest non-attribute line above `i` is a doc comment.
+fn has_doc_above(file: &SourceFile, i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let code = file.lines[j].code.trim();
+        let comment = file.lines[j].comment.trim_start();
+        if code.starts_with("#[") || code.starts_with("#!") || code.ends_with(")]") {
+            continue; // attribute (possibly multi-line tail)
+        }
+        if code.is_empty() {
+            // Comment-only line: doc comments surface as comments starting
+            // with an extra `/` (`///` → comment text "/ …").
+            if comment.starts_with('/') || comment.starts_with('!') {
+                return true;
+            }
+            if !file.lines[j].comment.is_empty() {
+                continue; // plain comment, keep looking upwards
+            }
+            return false; // blank line
+        }
+        return false; // real code line
+    }
+    false
+}
+
+// ---------------------------------------------------------------- contract
+
+fn check_contract(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.crate_name.starts_with("ppn") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        let comment = line.comment.trim();
+        let Some(rest) = comment.strip_prefix("ppn-check: contract(") else { continue };
+        let Some(kind) = rest.split(')').next() else { continue };
+        let needle = match kind {
+            "simplex" => "assert_simplex",
+            "finite" => "assert_finite",
+            other => {
+                out.push(diag(
+                    file,
+                    i,
+                    "contract",
+                    format!("unknown contract kind `{other}` (expected simplex|finite)"),
+                ));
+                continue;
+            }
+        };
+        // The tag must sit on (or directly above) a function whose body
+        // contains the matching invariant call.
+        let span = (i..(i + 4).min(file.lines.len())).find_map(|j| {
+            crate::scanner::brace_span(&file.lines, j)
+                .filter(|&(s, _)| s == j && file.lines[j].code.contains("fn "))
+        });
+        let Some((_, end)) = span else {
+            out.push(diag(
+                file,
+                i,
+                "contract",
+                format!("contract({kind}) tag is not attached to a function"),
+            ));
+            continue;
+        };
+        let satisfied = (i..=end).any(|j| file.lines[j].code.contains(needle));
+        if !satisfied {
+            out.push(diag(
+                file,
+                i,
+                "contract",
+                format!("contract({kind}) tag without a matching `{needle}` invariant call"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{Role, SourceFile};
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::scan("crates/core/src/x.rs", "ppn-core", Role::Lib, src)
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(contains_float_literal("x == 0.0"));
+        assert!(contains_float_literal("1.5e-3"));
+        assert!(contains_float_literal("2f64"));
+        assert!(!contains_float_literal("x.len()"));
+        assert!(!contains_float_literal("v[0]"));
+        assert!(!contains_float_literal("schema == 1"));
+    }
+
+    #[test]
+    fn float_eq_finds_only_float_comparisons() {
+        assert!(find_float_eq("if psi == 0.0 {").is_some());
+        assert!(find_float_eq("if 0.0 != dd {").is_some());
+        assert!(find_float_eq("if n == 3 {").is_none());
+        assert!(find_float_eq("if a <= 0.5 {").is_none());
+        assert!(find_float_eq("x >= 1.0 && y < 2.0").is_none());
+    }
+
+    #[test]
+    fn no_panic_skips_unwrap_or_variants() {
+        let f = lib("pub fn a() { x.unwrap_or_default(); }\npub fn b() { x.unwrap(); }");
+        let d = check_no_panic(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn pub_doc_requires_comment() {
+        let f = lib("/// Documented.\npub fn a() {}\n\npub fn b() {}");
+        let d = check_pub_doc(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn contract_tag_needs_matching_invariant() {
+        let good = lib(
+            "// ppn-check: contract(simplex)\npub fn p(w: &[f64]) -> Vec<f64> {\n    contracts::assert_simplex(w, \"p\");\n    w.to_vec()\n}",
+        );
+        assert!(check_contract(&good).is_empty());
+        let bad = lib("// ppn-check: contract(finite)\npub fn q(w: &[f64]) -> f64 {\n    w[0]\n}");
+        assert_eq!(check_contract(&bad).len(), 1);
+    }
+
+    #[test]
+    fn hash_iter_flags_unsorted_iteration() {
+        let src = "use std::collections::HashMap;\npub fn f() {\n    let map: HashMap<String, u64> = HashMap::new();\n    for (k, v) in map.iter() {\n        emit(k, v);\n    }\n}";
+        let f = lib(src);
+        assert_eq!(check_hash_iter(&f).len(), 1);
+        let sorted = "use std::collections::HashMap;\npub fn f() {\n    let map: HashMap<String, u64> = HashMap::new();\n    let mut rows: Vec<_> = map.iter().collect();\n    rows.sort_by(|a, b| a.0.cmp(b.0));\n}";
+        assert!(check_hash_iter(&lib(sorted)).is_empty());
+    }
+}

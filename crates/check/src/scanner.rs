@@ -1,0 +1,369 @@
+//! Lightweight lexical scanner for Rust sources.
+//!
+//! The rules in this crate are line-oriented: each needs to know, per line,
+//! what is *code* and what is *comment*, with string-literal contents blanked
+//! so that a pattern like `.unwrap()` inside a message never matches. On top
+//! of the split the scanner derives brace structure (function body spans) and
+//! `#[cfg(test)]` module spans so library-only rules can skip test code.
+//!
+//! This is deliberately not a full parser — it understands exactly the
+//! subset of Rust lexical structure the rules need: line and nested block
+//! comments, plain/escaped/raw string literals, char literals vs lifetimes,
+//! and brace nesting. That keeps the engine dependency-free and fast while
+//! staying robust on real-world sources.
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Part of a library target (`src/**`, excluding `bin/` and `main.rs`).
+    Lib,
+    /// Part of a binary target (`src/main.rs`, `src/bin/**`).
+    Bin,
+}
+
+/// One source line after lexical classification.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code content with comments removed and string contents blanked to `""`.
+    pub code: String,
+    /// Comment content (both `//` and `/* */` text landing on this line).
+    pub comment: String,
+}
+
+/// A scanned source file plus the derived structure the rules consume.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path used in diagnostics.
+    pub path: String,
+    /// Owning crate's package name (e.g. `ppn-core`).
+    pub crate_name: String,
+    /// Library or binary target membership.
+    pub role: Role,
+    /// Classified lines, in order.
+    pub lines: Vec<Line>,
+    /// Inclusive 0-based line spans of `#[cfg(test)]`-gated items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Inclusive 0-based line spans of function bodies (`fn` line → closing
+    /// brace line), innermost spans included alongside enclosing ones.
+    pub fn_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Scans `text` into lines, spans, and comment structure.
+    pub fn scan(path: &str, crate_name: &str, role: Role, text: &str) -> SourceFile {
+        let lines = split_lines(text);
+        let test_spans = find_test_spans(&lines);
+        let fn_spans = find_fn_spans(&lines);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            role,
+            lines,
+            test_spans,
+            fn_spans,
+        }
+    }
+
+    /// True when 0-based `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| (s..=e).contains(&line))
+    }
+
+    /// Innermost function-body span containing 0-based `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<(usize, usize)> {
+        self.fn_spans
+            .iter()
+            .copied()
+            .filter(|&(s, e)| (s..=e).contains(&line))
+            .min_by_key(|&(s, e)| e - s)
+    }
+}
+
+/// Splits source text into per-line (code, comment) pairs.
+///
+/// String contents are blanked (`"…"` → `""`) so rule patterns never match
+/// inside literals; comment text is preserved verbatim because the
+/// `ppn-check:` directives live there.
+pub fn split_lines(text: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            out.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        match state {
+            State::Normal => match c {
+                '/' if next == '/' => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if next == '*' => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    // Blank the contents but keep the delimiters.
+                    code.push_str("\"\"");
+                    state = State::Str;
+                    i += 1;
+                }
+                'r' if next == '"' || (next == '#' && raw_str_hashes(&chars, i + 1).is_some()) => {
+                    let hashes =
+                        if next == '"' { 0 } else { raw_str_hashes(&chars, i + 1).unwrap_or(0) };
+                    code.push_str("\"\"");
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes; // skip r, hashes, opening quote
+                }
+                '\'' => {
+                    // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
+                    if next == '\\' {
+                        // Escaped char literal: skip to the closing quote.
+                        code.push_str("' '");
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2).copied() == Some('\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        // Lifetime: keep the tick, continue normally.
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == '/' {
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (handles \" and \\)
+                } else if c == '"' {
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push(Line { code, comment });
+    }
+    out
+}
+
+/// Number of `#` between `r` and the opening quote of a raw string starting
+/// at `chars[from]` (which must point at the first `#`), if well-formed.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<usize> {
+    let mut j = from;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    (chars.get(j).copied() == Some('"')).then_some(j - from)
+}
+
+fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(at + k).copied() == Some('#'))
+}
+
+/// Finds `#[cfg(test)]` item spans: the attribute, any further attributes,
+/// and the brace block of the following `mod`/`fn` item.
+fn find_test_spans(lines: &[Line]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.code.trim();
+        if !(t.starts_with("#[cfg(test)]") || t.starts_with("#[test]")) {
+            continue;
+        }
+        // Walk forward past attributes/blank lines to the item header.
+        let mut j = i;
+        while j < lines.len() {
+            let c = lines[j].code.trim();
+            if !c.is_empty() && !c.starts_with("#[") && !c.starts_with("#!") {
+                break;
+            }
+            j += 1;
+        }
+        if let Some((_, end)) = brace_span(lines, j) {
+            spans.push((i, end));
+        }
+    }
+    spans
+}
+
+/// Finds every function-body span (line of the `fn` keyword through the
+/// closing brace of its body).
+fn find_fn_spans(lines: &[Line]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..lines.len() {
+        if has_fn_keyword(&lines[i].code) {
+            if let Some((_, end)) = brace_span(lines, i) {
+                spans.push((i, end));
+            }
+        }
+    }
+    spans
+}
+
+/// True when the code text contains the `fn` keyword as a whole word.
+fn has_fn_keyword(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("fn") {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let after_ok = at + 2 >= bytes.len() || !is_ident_char(bytes[at + 2] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 2;
+    }
+    false
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Starting the search at line `from`, finds the first `{` and returns the
+/// inclusive line span up to its matching `}`. Returns `None` when a `;`
+/// terminates the item before any brace (e.g. trait method declarations) or
+/// the braces never balance.
+pub fn brace_span(lines: &[Line], from: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(from) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    opened = true;
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        return Some((from, j));
+                    }
+                }
+                ';' if !opened => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_and_comments_split() {
+        let src = "let x = \"a.unwrap() inside\"; // trailing note\nlet y = 1;";
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("\"\""));
+        assert_eq!(lines[0].comment.trim(), "trailing note");
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nclose */ c";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(lines[1].code.trim(), "");
+        assert_eq!(lines[2].code.trim(), "c");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\\n' }";
+        let lines = split_lines(src);
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[0].code.contains("\\n"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"panic!(\"no\")\"#; let q = 2;";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("let q = 2;"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}";
+        let f = SourceFile::scan("x.rs", "ppn-core", Role::Lib, src);
+        assert!(!f.in_test(0));
+        assert!(f.in_test(3));
+        assert!(!f.in_test(5));
+    }
+
+    #[test]
+    fn fn_spans_find_enclosing_bodies() {
+        let src = "fn outer() {\n    let a = 1;\n    fn inner() {\n        let b = 2;\n    }\n}";
+        let f = SourceFile::scan("x.rs", "ppn-core", Role::Lib, src);
+        assert_eq!(f.enclosing_fn(3), Some((2, 4)));
+        assert_eq!(f.enclosing_fn(1), Some((0, 5)));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_span() {
+        let src = "trait T {\n    fn decl(&self) -> usize;\n}";
+        let lines = split_lines(src);
+        assert_eq!(brace_span(&lines, 1), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! The tier-1 gate: the workspace itself must lint clean, and the engine's
+//! discovery/exemption behaviour must match the real tree.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = ppn_check::run(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "ppn-check found {} diagnostic(s):\n{}",
+        report.diagnostics.len(),
+        report.diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    assert!(report.files > 50, "suspiciously few files scanned: {}", report.files);
+}
+
+#[test]
+fn vendored_shims_are_discovered_but_exempt() {
+    let crates = ppn_check::discover(&workspace_root()).expect("discover");
+    let shims: Vec<&str> =
+        crates.iter().filter(|c| !c.is_first_party()).map(|c| c.name.as_str()).collect();
+    for expected in
+        ["rand", "serde", "serde_derive", "serde_json", "proptest", "criterion", "parking_lot"]
+    {
+        assert!(shims.contains(&expected), "{expected} missing from {shims:?}");
+    }
+    let first_party: Vec<&str> =
+        crates.iter().filter(|c| c.is_first_party()).map(|c| c.name.as_str()).collect();
+    for expected in [
+        "ppn-repro",
+        "ppn-core",
+        "ppn-market",
+        "ppn-baselines",
+        "ppn-tensor",
+        "ppn-obs",
+        "ppn-check",
+    ] {
+        assert!(first_party.contains(&expected), "{expected} missing from {first_party:?}");
+    }
+}
+
+#[test]
+fn report_counts_shims() {
+    let report = ppn_check::run(&workspace_root()).expect("workspace scan");
+    assert_eq!(
+        report.shims_skipped, 7,
+        "rand, serde, serde_derive, serde_json, proptest, criterion, parking_lot"
+    );
+}

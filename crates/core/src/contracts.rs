@@ -1,0 +1,12 @@
+//! Numerical contracts for the training stack.
+//!
+//! Re-exports the `debug_assert`-backed invariant checks from
+//! [`ppn_market::contracts`] so network, reward and trainer code tags its
+//! hot paths (`// ppn-check: contract(simplex)` / `contract(finite)`)
+//! against one shared implementation. See the `ppn-check` crate for the
+//! lint that enforces the tag ↔ assertion pairing.
+
+pub use ppn_market::contracts::{
+    assert_finite, assert_simplex, assert_simplex_rows, simplex_violation, SIMPLEX_NEG_TOL,
+    SIMPLEX_TOL,
+};

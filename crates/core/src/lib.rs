@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-core
 //!
 //! The paper's primary contribution: the **cost-sensitive Portfolio Policy
@@ -27,17 +29,31 @@
 //! println!("APV {:.2}", result.metrics.apv);
 //! ```
 
+/// Mini-batch sampling over price-relative windows (§5.1).
 pub mod batch;
+/// Network, reward and training hyper-parameter bundles.
 pub mod config;
+/// Debug-build numerical contracts (simplex/finite invariants).
+pub mod contracts;
+/// TCCB correlation information net (§4.2) and its ablations.
 pub mod corrnet;
+/// PPN-AC actor-critic comparison trainer (§7.2).
 pub mod ddpg;
+/// Recursive decision module fusing both streams (§4.3).
 pub mod decision;
+/// Online rolling-retrain policy wrapper (Remark 3).
 pub mod online;
+/// Checkpoint serialization for trained parameter stores.
 pub mod persist;
+/// Adapters running trained networks as backtest policies.
 pub mod policy;
+/// The Portfolio Policy Network and its Table-4 variants.
 pub mod ppn;
+/// Cost-sensitive reward of Eqn. (1) and its building blocks.
 pub mod reward;
+/// LSTM sequential information net (§4.1).
 pub mod seqnet;
+/// Direct policy-gradient trainer with portfolio-vector memory (§5.1).
 pub mod trainer;
 
 /// One-stop imports for examples and the experiment harness.

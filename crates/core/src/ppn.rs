@@ -165,7 +165,8 @@ impl PolicyNet {
                     &mut store,
                     rng,
                     "seq",
-                    *cfg.tccb_channels.last().unwrap(),
+                    // ppn-check: allow(no-panic) NetConfig always carries at least one TCCB block
+                    *cfg.tccb_channels.last().expect("tccb_channels is non-empty"),
                     cfg.lstm_hidden,
                 );
                 let ch = seq.channels();
@@ -203,6 +204,7 @@ impl PolicyNet {
 
     /// Forward pass: returns the `(B, m+1)` portfolio node (softmax rows,
     /// cash at column 0).
+    // ppn-check: contract(simplex)
     pub fn forward<R: Rng>(
         &self,
         g: &mut Graph,
@@ -244,11 +246,18 @@ impl PolicyNet {
             }
         };
         let prev = g.leaf(batch.prev_risky.clone());
-        self.decision.forward(g, bind, &features, prev)
+        let out = self.decision.forward(g, bind, &features, prev);
+        crate::contracts::assert_simplex_rows(
+            g.value(out).data(),
+            batch.m + 1,
+            "PolicyNet::forward",
+        );
+        out
     }
 
     /// Convenience single-sample evaluation (no dropout, no gradient):
     /// returns the `m+1` portfolio for one window.
+    // ppn-check: contract(simplex)
     pub fn act(&self, window: &[f64], prev_action: &[f64]) -> Vec<f64> {
         let batch = WindowBatch::new(
             &[window.to_vec()],
@@ -262,7 +271,9 @@ impl PolicyNet {
         // Dropout disabled → rng unused; any cheap source works.
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let out = self.forward(&mut g, &bind, &batch, false, &mut rng);
-        g.value(out).data().to_vec()
+        let a = g.value(out).data().to_vec();
+        crate::contracts::assert_simplex(&a, "PolicyNet::act");
+        a
     }
 }
 

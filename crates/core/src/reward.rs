@@ -37,6 +37,7 @@ pub struct RewardNodes {
 ///
 /// # Panics
 /// Panics on shape mismatches.
+// ppn-check: contract(finite)
 pub fn cost_sensitive_reward(
     g: &mut Graph,
     actions: NodeId,
@@ -79,12 +80,15 @@ pub fn cost_sensitive_reward(
     let r1 = g.sub(mean_log_return, risk_term);
     let reward = g.sub(r1, to_term);
     let loss = g.neg(reward);
+    // Theorems 1–2 require finite log-returns; catch NaN/inf at the source.
+    crate::contracts::assert_finite(&[g.value(reward).item()], "cost_sensitive_reward");
 
     RewardNodes { reward, loss, mean_log_return, variance, mean_turnover }
 }
 
 /// Evaluates the same reward outside the graph (for tests and logging),
 /// returning `(reward, mean_log_return, variance, mean_turnover)`.
+// ppn-check: contract(finite)
 pub fn reward_value(
     actions: &[Vec<f64>],
     relatives: &[Vec<f64>],
@@ -106,6 +110,7 @@ pub fn reward_value(
     let mean = logs.iter().sum::<f64>() / t as f64;
     let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / t as f64;
     let mto = tos.iter().sum::<f64>() / t as f64;
+    crate::contracts::assert_finite(&[mean, var, mto], "reward_value");
     (mean - lambda * var - gamma * mto, mean, var, mto)
 }
 

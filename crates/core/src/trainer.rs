@@ -68,6 +68,7 @@ impl TrainReport {
                 mean_turnover: s.mean_turnover,
                 grad_norm: s.grad_norm,
             };
+            // ppn-check: allow(no-panic) plain numeric struct — serialization is infallible
             out.push_str(&serde_json::to_string(&row).expect("StepStats row serializes"));
             out.push('\n');
         }
@@ -175,6 +176,7 @@ impl<'a> Trainer<'a> {
     }
 
     /// Runs one gradient step; returns telemetry.
+    // ppn-check: contract(simplex)
     pub fn step(&mut self) -> StepStats {
         let _span = ppn_obs::span!("train.step");
         let wall = std::time::Instant::now();
@@ -224,6 +226,7 @@ impl<'a> Trainer<'a> {
         let a = g.value(actions);
         for b in 0..tn {
             let row = a.data()[b * m1..(b + 1) * m1].to_vec();
+            crate::contracts::assert_simplex(&row, "Trainer::step PVM writeback");
             self.pvm[t0 + b] = row;
         }
 

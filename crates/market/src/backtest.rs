@@ -82,6 +82,7 @@ impl BacktestResult {
 ///
 /// # Panics
 /// Panics if the policy returns a vector off the simplex by more than 1e-6.
+// ppn-check: contract(finite)
 pub fn run_backtest(
     dataset: &Dataset,
     policy: &mut dyn Policy,
@@ -120,6 +121,7 @@ pub fn run_backtest(
         let x = dataset.relative(t);
         let gross = portfolio_return(&action, x);
         let net = gross * (1.0 - sol.cost);
+        crate::contracts::assert_finite(&[gross, net], "run_backtest period return");
         wealth *= net;
         peak = peak.max(wealth);
         let turnover: f64 =

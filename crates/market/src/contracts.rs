@@ -1,0 +1,113 @@
+//! Debug-build numerical contracts.
+//!
+//! The PPN reproduction leans on two invariants everywhere: portfolio
+//! weights live on the probability simplex (§3.1 — softmax outputs, PVM
+//! rows, drifted weights), and every value on the reward/cost path stays
+//! finite (Theorems 1–2 only hold for finite log-returns). These helpers
+//! make those invariants executable: each is a `debug_assert!`-backed check
+//! that fires under `cargo test` and debug builds and compiles to nothing
+//! in release, so hot paths pay zero cost.
+//!
+//! Call sites are tagged `// ppn-check: contract(simplex)` or
+//! `// ppn-check: contract(finite)` above the function header; the
+//! `contract` lint in `ppn-check` verifies every tag is backed by a call to
+//! the matching assertion here.
+
+/// Absolute tolerance on `Σwᵢ = 1` for simplex membership.
+pub const SIMPLEX_TOL: f64 = 1e-6;
+
+/// Coordinates may undershoot zero by at most this much (softmax and the
+/// Euclidean projection both emit exact zeros or tiny negative round-off).
+pub const SIMPLEX_NEG_TOL: f64 = 1e-9;
+
+/// Debug-asserts that `w` is a point on the probability simplex: non-empty,
+/// all coordinates finite and `>= -`[`SIMPLEX_NEG_TOL`], summing to one
+/// within [`SIMPLEX_TOL`]. `ctx` names the call site in the failure message.
+#[inline]
+pub fn assert_simplex(w: &[f64], ctx: &str) {
+    debug_assert!(
+        simplex_violation(w).is_none(),
+        "contract(simplex) violated in {ctx}: {} (weights: {w:?})",
+        simplex_violation(w).unwrap_or_default()
+    );
+    let _ = (w, ctx); // used only by the debug_assert in release builds
+}
+
+/// Debug-asserts every element of a flat row-major `[rows × width]` buffer
+/// row-wise on the simplex. Used for batched network output.
+#[inline]
+pub fn assert_simplex_rows(flat: &[f64], width: usize, ctx: &str) {
+    #[cfg(debug_assertions)]
+    if width > 0 {
+        for (r, row) in flat.chunks_exact(width).enumerate() {
+            assert_simplex(row, &format!("{ctx} row {r}"));
+        }
+    }
+    let _ = (flat, width, ctx);
+}
+
+/// Debug-asserts that every value in `xs` is finite (no NaN/±inf).
+#[inline]
+pub fn assert_finite(xs: &[f64], ctx: &str) {
+    debug_assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "contract(finite) violated in {ctx}: {:?}",
+        xs.iter().find(|x| !x.is_finite())
+    );
+    let _ = (xs, ctx);
+}
+
+/// Why `w` fails simplex membership, or `None` when it is a member.
+/// Exposed so tests can assert on the classification itself.
+pub fn simplex_violation(w: &[f64]) -> Option<String> {
+    if w.is_empty() {
+        return Some("empty weight vector".into());
+    }
+    if let Some(bad) = w.iter().find(|x| !x.is_finite()) {
+        return Some(format!("non-finite coordinate {bad}"));
+    }
+    if let Some(bad) = w.iter().find(|x| **x < -SIMPLEX_NEG_TOL) {
+        return Some(format!("negative coordinate {bad}"));
+    }
+    let sum: f64 = w.iter().sum();
+    if (sum - 1.0).abs() > SIMPLEX_TOL {
+        return Some(format!("coordinates sum to {sum}, not 1"));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_simplex_membership() {
+        assert_eq!(simplex_violation(&[0.25; 4]), None);
+        assert_eq!(simplex_violation(&[1.0]), None);
+        assert!(simplex_violation(&[]).is_some());
+        assert!(simplex_violation(&[0.5, 0.6]).unwrap().contains("sum"));
+        assert!(simplex_violation(&[-0.1, 1.1]).unwrap().contains("negative"));
+        assert!(simplex_violation(&[f64::NAN, 1.0]).unwrap().contains("non-finite"));
+    }
+
+    #[test]
+    fn tolerates_round_off() {
+        // Softmax output whose sum differs from 1 by float round-off.
+        let w = [0.1 + 1e-12, 0.2, 0.3, 0.4];
+        assert_eq!(simplex_violation(&w), None);
+        assert_simplex(&w, "test");
+        assert_simplex_rows(&[0.5, 0.5, 0.25, 0.75], 2, "test rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "contract(simplex) violated")]
+    fn fires_on_off_simplex_input() {
+        assert_simplex(&[0.9, 0.9], "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "contract(finite) violated")]
+    fn fires_on_non_finite_input() {
+        assert_finite(&[1.0, f64::INFINITY], "test");
+    }
+}

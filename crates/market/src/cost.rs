@@ -37,10 +37,11 @@ fn risky_l1(target: &[f64], omega: f64, drifted: &[f64]) -> f64 {
 ///
 /// # Panics
 /// Panics unless `0 ≤ ψ < 1` and the two weight vectors have equal lengths.
+// ppn-check: contract(finite)
 pub fn cost_proportion(psi: f64, action: &[f64], drifted: &[f64], tol: f64) -> CostSolution {
     assert!((0.0..1.0).contains(&psi), "cost rate psi={psi}");
     assert_eq!(action.len(), drifted.len());
-    if psi == 0.0 {
+    if ppn_tensor::approx::is_zero(psi) {
         return CostSolution { cost: 0.0, omega: 1.0, iterations: 0 };
     }
     let mut c = psi * risky_l1(action, 1.0, drifted); // surrogate as warm start
@@ -54,6 +55,7 @@ pub fn cost_proportion(psi: f64, action: &[f64], drifted: &[f64], tol: f64) -> C
         }
         c = next;
     }
+    crate::contracts::assert_finite(&[c], "cost_proportion");
     CostSolution { cost: c, omega: 1.0 - c, iterations }
 }
 

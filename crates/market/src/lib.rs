@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-market
 //!
 //! Market substrate for the Rust reproduction of *"Cost-Sensitive Portfolio
@@ -24,14 +26,25 @@
 //! assert!(result.metrics.apv > 0.0);
 //! ```
 
+/// Backtest runner and the [`Policy`] trait it drives.
 pub mod backtest;
+/// Debug-build numerical contracts (simplex/finite invariants).
+pub mod contracts;
+/// Proportional transaction-cost model with the Proposition-4 bounds.
 pub mod cost;
+/// Synthetic dataset presets standing in for the paper's feeds.
 pub mod dataset;
+/// The trading MDP environment of §3.1.
 pub mod env;
+/// Geometric-Brownian-motion close-price path generator.
 pub mod gbm;
+/// Evaluation metrics of §6.1.2 (APV, SR, CR, MDD, STD, TO).
 pub mod metrics;
+/// OHLC bar synthesis over generated close paths.
 pub mod ohlc;
+/// Price relatives, drifted weights and portfolio returns.
 pub mod relatives;
+/// Risk measures beyond the paper's core table (VaR, ES, Sortino).
 pub mod risk;
 
 pub use backtest::{

@@ -34,9 +34,12 @@ pub fn portfolio_return(action: &[f64], relative: &[f64]) -> f64 {
 /// The portfolio drifted by the market move, i.e. the paper's
 /// `â_{t-1} = (a_{t-1} ⊙ x_{t-1}) / (a_{t-1}ᵀ x_{t-1})`: the weights held
 /// *before* rebalancing at the start of period `t`.
+// ppn-check: contract(simplex)
 pub fn drifted_weights(action: &[f64], relative: &[f64]) -> Vec<f64> {
     let denom = portfolio_return(action, relative);
-    action.iter().zip(relative).map(|(a, x)| a * x / denom).collect()
+    let out: Vec<f64> = action.iter().zip(relative).map(|(a, x)| a * x / denom).collect();
+    crate::contracts::assert_simplex(&out, "drifted_weights");
+    out
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ pub fn downside_deviation(returns: &[f64], target: f64) -> f64 {
 /// when there is no downside at all (the ratio is undefined/infinite).
 pub fn sortino_ratio(returns: &[f64], target: f64) -> f64 {
     let dd = downside_deviation(returns, target);
-    if dd == 0.0 || returns.is_empty() {
+    if ppn_tensor::approx::is_zero(dd) || returns.is_empty() {
         return 0.0;
     }
     let mean = returns.iter().sum::<f64>() / returns.len() as f64;

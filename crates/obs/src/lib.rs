@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-obs
 //!
 //! Zero-heavy-dependency observability substrate for the PPN workspace:

@@ -97,7 +97,10 @@ impl SpanStat {
     }
 }
 
-/// Snapshot of every recorded span, sorted by total time descending.
+/// Snapshot of every recorded span, sorted by total time descending with
+/// ties broken by path so the order is deterministic (the registry is a
+/// `HashMap`; without the tie-break, equal totals would surface its
+/// iteration order).
 pub fn span_stats() -> Vec<SpanStat> {
     let reg = REGISTRY.lock();
     let mut stats: Vec<SpanStat> = reg
@@ -113,7 +116,7 @@ pub fn span_stats() -> Vec<SpanStat> {
                 .collect()
         })
         .unwrap_or_default();
-    stats.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.path.cmp(&b.path)));
     stats
 }
 
@@ -133,6 +136,7 @@ pub fn span_report() -> String {
         "{:<width$} {:>10} {:>12} {:>12} {:>12}\n",
         "span", "count", "total ms", "self ms", "mean µs"
     );
+    // ppn-check: allow(hash-iter) span_stats() returns a (total, path)-sorted vec
     for s in &stats {
         out.push_str(&format!(
             "{:<width$} {:>10} {:>12.3} {:>12.3} {:>12.2}\n",

@@ -1,0 +1,71 @@
+//! Whitelisted floating-point comparison helpers.
+//!
+//! Exact `f64` equality is banned across the workspace by the `float-eq`
+//! lint (`ppn-check`): a `==` between floats is almost always a latent bug
+//! once values have been through arithmetic. The legitimate uses — sentinel
+//! checks against an exact literal, tolerance comparisons — are funnelled
+//! through this module, the single place where raw float comparison is
+//! permitted (files named `approx.rs` are the rule's whitelist).
+
+/// True when `x` is exactly `+0.0` or `-0.0`.
+///
+/// For *sentinel* checks only — e.g. "was a zero cost rate configured?" —
+/// where the value is a passed-through literal, never the result of
+/// arithmetic. For "is this numerically negligible" use [`near_zero`].
+#[inline]
+#[allow(clippy::float_cmp)]
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// True when `a` and `b` are exactly equal as IEEE-754 values.
+///
+/// For comparing *copied* values only (e.g. tie detection against a value
+/// taken from the same array) — never results of separate arithmetic.
+#[inline]
+#[allow(clippy::float_cmp)]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    a == b
+}
+
+/// True when `|x| <= tol`.
+#[inline]
+pub fn near_zero(x: f64, tol: f64) -> bool {
+    x.abs() <= tol
+}
+
+/// True when `a` and `b` are within `tol` of each other absolutely.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// True when `a` and `b` agree to `tol` relative to their magnitude
+/// (falling back to absolute comparison near zero).
+#[inline]
+pub fn rel_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_checks() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(1e-300));
+        assert!(near_zero(1e-12, 1e-9));
+        assert!(!near_zero(1e-6, 1e-9));
+    }
+
+    #[test]
+    fn approx_checks() {
+        assert!(approx_eq(1.0, 1.0 + 1e-10, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(rel_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(!rel_eq(1.0, 2.0, 1e-9));
+    }
+}

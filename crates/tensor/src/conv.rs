@@ -59,9 +59,11 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) 
     let (dh, dw) = dilation;
     let (pt, pb, pl, pr) = pad;
     let oh = out_dim(h, kh, dh, pt, pb).unwrap_or_else(|| {
+        // ppn-check: allow(no-panic) documented precondition — see `# Panics` above
         panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for H={h} pad=({pt},{pb})")
     });
     let ow = out_dim(wid, kw, dw, pl, pr).unwrap_or_else(|| {
+        // ppn-check: allow(no-panic) documented precondition — see `# Panics` above
         panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for W={wid} pad=({pl},{pr})")
     });
 
@@ -90,7 +92,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) 
                     let oy_hi = ((h as isize - iy_off).min(oh as isize)).max(0) as usize;
                     for kx in 0..kw {
                         let wv = wd[w_block + ky * kw + kx];
-                        if wv == 0.0 {
+                        if crate::approx::is_zero(wv) {
                             continue;
                         }
                         let ix_off = (kx * dw) as isize - pl as isize;

@@ -255,6 +255,7 @@ impl Graph {
     pub fn softmax(&mut self, x: NodeId) -> NodeId {
         let t = self.value(x);
         let shape = t.shape().to_vec();
+        // ppn-check: allow(no-panic) invariant: every graph tensor has rank >= 1
         let last = *shape.last().expect("softmax needs rank >= 1");
         let rows = t.len() / last;
         let mut out = vec![0.0; t.len()];
@@ -401,7 +402,7 @@ impl Graph {
     /// is the identity.
     pub fn dropout<R: Rng>(&mut self, x: NodeId, p: f64, training: bool, rng: &mut R) -> NodeId {
         assert!((0.0..1.0).contains(&p), "dropout rate {p}");
-        if !training || p == 0.0 {
+        if !training || crate::approx::is_zero(p) {
             return x;
         }
         let keep = 1.0 - p;
@@ -557,7 +558,8 @@ impl Graph {
             Op::Softmax(x) => {
                 // Per-row: dx = y ⊙ (g − ⟨g, y⟩)
                 let y = self.nodes[i].value.clone();
-                let last = *y.shape().last().unwrap();
+                // ppn-check: allow(no-panic) invariant: softmax output keeps its input's rank >= 1
+                let last = *y.shape().last().expect("softmax output has rank >= 1");
                 let rows = y.len() / last;
                 let mut dx = vec![0.0; y.len()];
                 for r in 0..rows {

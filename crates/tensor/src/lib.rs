@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-tensor
 //!
 //! A minimal, dependency-light reverse-mode autodiff engine that serves as
@@ -36,6 +38,7 @@
 //! assert!((store.value(w).item() - 1.5).abs() < 1e-2);
 //! ```
 
+pub mod approx;
 pub mod conv;
 pub mod gradcheck;
 pub mod graph;

@@ -65,6 +65,7 @@ pub struct IndexIter {
 }
 
 impl IndexIter {
+    /// Starts iteration at the all-zeros index of `shape`.
     pub fn new(shape: &[usize]) -> Self {
         let done = numel(shape) == 0;
         IndexIter { shape: shape.to_vec(), cur: vec![0; shape.len()], done }

@@ -160,6 +160,7 @@ impl Tensor {
             return Tensor { shape: self.shape.clone(), data };
         }
         let out_shape = broadcast(&self.shape, &other.shape)
+            // ppn-check: allow(no-panic) documented precondition — see `# Panics` above
             .unwrap_or_else(|| panic!("broadcast {:?} vs {:?}", self.shape, other.shape));
         // Odometer walk with per-dim source strides (0 on broadcast dims):
         // no per-element index vectors, single pass over the output.
@@ -253,7 +254,7 @@ impl Tensor {
         for i in 0..n {
             for kk in 0..k {
                 let a = self.data[i * k + kk];
-                if a == 0.0 {
+                if crate::approx::is_zero(a) {
                     continue;
                 }
                 let brow = &other.data[kk * m..(kk + 1) * m];

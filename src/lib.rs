@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # ppn-repro
 //!
 //! Rust reproduction of *"Cost-Sensitive Portfolio Selection via Deep
