@@ -1,23 +1,193 @@
-//! Quick throughput probe used while scoping experiment budgets.
+//! Quick throughput probe used while scoping experiment budgets, plus the
+//! `PPN_THREADS` sweep behind `results/BENCH_parallel.json`.
+//!
+//! Default mode times ten training steps per network variant, then sweeps
+//! the worker pool over 1/2/4/8 threads on the two dominant kernels (a
+//! 256×256×256 matmul and a Table-2-shaped causal conv stack, forward and
+//! backward), verifies the outputs are bit-identical to the serial path,
+//! and writes the sweep to `results/BENCH_parallel.json`.
+//!
+//! `--smoke` runs only the sweep and asserts instead of writing: outputs
+//! must be bit-identical and 4-thread matmul throughput must not fall below
+//! single-thread (a relaxed overhead floor applies on single-core hosts,
+//! where no speedup is physically possible).
+
 use ppn_core::prelude::*;
 use ppn_market::{Dataset, Preset};
+use ppn_tensor::{conv, par, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
-fn main() {
-    let run = ppn_bench::start_run("speed_probe");
-    let ds = Dataset::load(Preset::CryptoA);
-    for variant in [Variant::Ppn, Variant::PpnI, Variant::PpnLstm, Variant::Eiie] {
-        let cfg = TrainConfig { steps: 10, batch: 24, ..TrainConfig::default() };
-        let mut tr = Trainer::new(&ds, variant, RewardConfig::default(), cfg);
-        let t0 = Instant::now();
-        for _ in 0..10 {
-            tr.step();
+#[derive(serde::Serialize)]
+struct ThreadSample {
+    threads: usize,
+    matmul_ms: f64,
+    conv_ms: f64,
+    matmul_speedup: f64,
+    conv_speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(serde::Serialize)]
+struct BenchParallel {
+    available_parallelism: usize,
+    matmul_shape: [usize; 3],
+    conv_desc: String,
+    thread_sweep: Vec<ThreadSample>,
+}
+
+/// Fixed deterministic inputs shared by every thread count.
+struct Workload {
+    a: Tensor,
+    b: Tensor,
+    x: Tensor,
+    w1: Tensor,
+    w2: Tensor,
+}
+
+const CONV_DESC: &str =
+    "two causal dilated convs (16x4x10x30 input, 32ch k=1x3 d=1 then d=2), forward + backward";
+
+impl Workload {
+    fn new() -> Self {
+        let mut rng = StdRng::seed_from_u64(42);
+        Workload {
+            a: Tensor::randn(&mut rng, &[256, 256], 1.0),
+            b: Tensor::randn(&mut rng, &[256, 256], 1.0),
+            // Table-2-shaped feature maps: batch × features × assets × window.
+            x: Tensor::randn(&mut rng, &[16, 4, 10, 30], 1.0),
+            w1: Tensor::randn(&mut rng, &[32, 4, 1, 3], 0.5),
+            w2: Tensor::randn(&mut rng, &[32, 32, 1, 3], 0.25),
         }
-        ppn_obs::obs_info!(
-            "{:<10} {:>8.1} ms/step",
-            variant.name(),
-            t0.elapsed().as_secs_f64() * 100.0
+    }
+
+    fn matmul(&self) -> Tensor {
+        self.a.matmul(&self.b)
+    }
+
+    /// DCONV-style stack forward + backward; returns every output and
+    /// gradient concatenated for bit-identity comparison.
+    fn conv_stack(&self) -> Vec<f64> {
+        let (pl1, pr1) = conv::causal_padding(3, 1);
+        let y1 = conv::conv2d_forward(&self.x, &self.w1, (1, 1), (0, 0, pl1, pr1));
+        let (pl2, pr2) = conv::causal_padding(3, 2);
+        let y2 = conv::conv2d_forward(&y1, &self.w2, (1, 2), (0, 0, pl2, pr2));
+        let g2 = Tensor::ones(y2.shape());
+        let (gx2, gw2) = conv::conv2d_backward(&y1, &self.w2, &g2, (1, 2), (0, 0, pl2, pr2));
+        let (gx1, gw1) = conv::conv2d_backward(&self.x, &self.w1, &gx2, (1, 1), (0, 0, pl1, pr1));
+        let mut out = Vec::new();
+        for t in [&y2, &gx2, &gw2, &gx1, &gw1] {
+            out.extend_from_slice(t.data());
+        }
+        out
+    }
+}
+
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = ppn_bench::start_run("speed_probe");
+
+    if !smoke {
+        let ds = Dataset::load(Preset::CryptoA);
+        for variant in [Variant::Ppn, Variant::PpnI, Variant::PpnLstm, Variant::Eiie] {
+            let cfg = TrainConfig { steps: 10, batch: 24, ..TrainConfig::default() };
+            let mut tr = Trainer::new(&ds, variant, RewardConfig::default(), cfg);
+            let t0 = Instant::now();
+            for _ in 0..10 {
+                tr.step();
+            }
+            ppn_obs::obs_info!(
+                "{:<10} {:>8.1} ms/step",
+                variant.name(),
+                t0.elapsed().as_secs_f64() * 100.0
+            );
+        }
+    }
+
+    let wl = Workload::new();
+    let reps = if smoke { 2 } else { 5 };
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Serial reference outputs: the exact PPN_THREADS=1 path.
+    let ref_mm = par::with_threads(1, || wl.matmul());
+    let ref_conv = par::with_threads(1, || wl.conv_stack());
+
+    let mut samples = Vec::new();
+    for &t in &[1usize, 2, 4, 8] {
+        let (mm, conv_out, matmul_ms, conv_ms) = par::with_threads(t, || {
+            let matmul_ms = best_ms(reps, || {
+                let _ = wl.matmul();
+            });
+            let conv_ms = best_ms(reps, || {
+                let _ = wl.conv_stack();
+            });
+            (wl.matmul(), wl.conv_stack(), matmul_ms, conv_ms)
+        });
+        let bit_identical = bits_eq(mm.data(), ref_mm.data()) && bits_eq(&conv_out, &ref_conv);
+        samples.push(ThreadSample {
+            threads: t,
+            matmul_ms,
+            conv_ms,
+            matmul_speedup: 0.0,
+            conv_speedup: 0.0,
+            bit_identical,
+        });
+    }
+    let (base_mm, base_conv) = (samples[0].matmul_ms, samples[0].conv_ms);
+    for s in &mut samples {
+        s.matmul_speedup = base_mm / s.matmul_ms;
+        s.conv_speedup = base_conv / s.conv_ms;
+    }
+
+    for s in &samples {
+        println!(
+            "threads={} matmul {:8.2} ms ({:.2}x)  conv {:8.2} ms ({:.2}x)  bit_identical={}",
+            s.threads, s.matmul_ms, s.matmul_speedup, s.conv_ms, s.conv_speedup, s.bit_identical
         );
+    }
+    assert!(
+        samples.iter().all(|s| s.bit_identical),
+        "parallel kernels diverged from the serial reference"
+    );
+
+    if smoke {
+        let t4 = samples.iter().find(|s| s.threads == 4).expect("sweep includes 4 threads");
+        // On a multi-core host 4 threads must at least match single-thread
+        // throughput on the 256^3 matmul; a single-core host cannot speed
+        // up, so only bound the pool's overhead there.
+        let floor = if avail >= 2 { 0.95 } else { 0.5 };
+        assert!(
+            t4.matmul_speedup >= floor,
+            "4-thread matmul speedup {:.2}x below {floor}x floor (host parallelism {avail})",
+            t4.matmul_speedup
+        );
+        println!("smoke ok: 4-thread matmul {:.2}x (host parallelism {avail})", t4.matmul_speedup);
+    } else {
+        let report = BenchParallel {
+            available_parallelism: avail,
+            matmul_shape: [256, 256, 256],
+            conv_desc: CONV_DESC.to_string(),
+            thread_sweep: samples,
+        };
+        std::fs::create_dir_all("results").ok();
+        let json = serde_json::to_vec_pretty(&report).expect("report serializes");
+        std::fs::write("results/BENCH_parallel.json", json).expect("write BENCH_parallel.json");
+        println!("wrote results/BENCH_parallel.json (host parallelism {avail})");
     }
     let _ = run.finish();
 }

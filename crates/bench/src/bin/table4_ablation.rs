@@ -1,7 +1,7 @@
 //! Table 4 / Table Sup.2: representation-ability ablation — PPN with every
 //! feature-extractor variant on the four crypto datasets.
 
-use ppn_bench::{config_at, default_config, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_bench::{config_at, default_config, fnum, run_many, Budget, TableWriter};
 use ppn_core::Variant;
 use ppn_market::Preset;
 
@@ -17,18 +17,26 @@ fn main() {
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TableWriter::new("Table 4 — PPN with different feature extractors", &hdr);
 
-    for v in Variant::table4_order() {
-        let mut row = vec![v.name().to_string()];
+    // Row-major (variant × preset) cell grid, fanned out across the pool.
+    let variants = Variant::table4_order();
+    let mut cfgs = Vec::new();
+    for &v in &variants {
         for &p in &presets {
-            ppn_obs::obs_info!("[table4] {} on {} ...", v.name(), p.name());
             // PPN and PPN-I reuse the headline (full-budget) runs of Table 3;
             // the pure-ablation variants train at the ablation budget.
-            let cfg = match v {
+            cfgs.push(match v {
                 Variant::Ppn | Variant::PpnI => default_config(p, v),
                 _ => config_at(p, v, Budget::Ablation),
-            };
-            let res = train_and_backtest(&cfg);
-            let m = res.metrics;
+            });
+        }
+    }
+    ppn_obs::obs_info!("[table4] fanning out {} cells ...", cfgs.len());
+    let results = run_many("table4_ablation", &cfgs);
+
+    for (vi, v) in variants.iter().enumerate() {
+        let mut row = vec![v.name().to_string()];
+        for pi in 0..presets.len() {
+            let m = &results[vi * presets.len() + pi].metrics;
             row.extend([fnum(m.apv), fnum(m.sharpe_pct), fnum(m.calmar), fnum(m.turnover)]);
         }
         table.row(row);

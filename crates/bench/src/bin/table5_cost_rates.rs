@@ -2,7 +2,7 @@
 //! rates on Crypto-A (EIIE / PPN-I / PPN), retraining per rate as the paper
 //! does.
 
-use ppn_bench::{config_at, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_bench::{config_at, fnum, run_many, Budget, TableWriter};
 use ppn_core::Variant;
 use ppn_market::Preset;
 
@@ -22,15 +22,24 @@ fn main() {
         &hdr,
     );
 
-    for v in nets {
-        let mut row = vec![v.name().to_string()];
+    // Row-major (variant × rate) cell grid, fanned out across the pool.
+    let mut cfgs = Vec::new();
+    for &v in &nets {
         for &psi in &rates {
-            ppn_obs::obs_info!("[table5] {} at c={}% ...", v.name(), psi * 100.0);
             let mut cfg = config_at(Preset::CryptoA, v, Budget::Sweep);
             cfg.psi = psi;
-            let res = train_and_backtest(&cfg);
-            row.push(fnum(res.metrics.apv));
-            row.push(fnum(res.metrics.turnover));
+            cfgs.push(cfg);
+        }
+    }
+    ppn_obs::obs_info!("[table5] fanning out {} cells ...", cfgs.len());
+    let results = run_many("table5_cost_rates", &cfgs);
+
+    for (vi, v) in nets.iter().enumerate() {
+        let mut row = vec![v.name().to_string()];
+        for ri in 0..rates.len() {
+            let m = &results[vi * rates.len() + ri].metrics;
+            row.push(fnum(m.apv));
+            row.push(fnum(m.turnover));
         }
         table.row(row);
     }

@@ -3,7 +3,7 @@
 //! The expected shape: turnover decreases monotonically with γ, APV peaks at
 //! a moderate γ (the paper's best is 1e−3).
 
-use ppn_bench::{config_at, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_bench::{config_at, fnum, run_many, Budget, TableWriter};
 use ppn_core::Variant;
 use ppn_market::Preset;
 
@@ -20,15 +20,24 @@ fn main() {
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TableWriter::new("Table 6 — PPN under different gamma", &hdr);
 
+    // Row-major (γ × preset) cell grid, fanned out across the pool.
+    let mut cfgs = Vec::new();
     for &gamma in &gammas {
-        let mut row = vec![format!("{gamma:.0e}")];
         for &p in &presets {
-            ppn_obs::obs_info!("[table6] gamma={gamma:.0e} on {} ...", p.name());
             let mut cfg = config_at(p, Variant::Ppn, Budget::Sweep);
             cfg.gamma = gamma;
-            let res = train_and_backtest(&cfg);
-            row.push(fnum(res.metrics.apv));
-            row.push(fnum(res.metrics.turnover));
+            cfgs.push(cfg);
+        }
+    }
+    ppn_obs::obs_info!("[table6] fanning out {} cells ...", cfgs.len());
+    let results = run_many("table6_gamma", &cfgs);
+
+    for (gi, gamma) in gammas.iter().enumerate() {
+        let mut row = vec![format!("{gamma:.0e}")];
+        for pi in 0..presets.len() {
+            let m = &results[gi * presets.len() + pi].metrics;
+            row.push(fnum(m.apv));
+            row.push(fnum(m.turnover));
         }
         table.row(row);
     }

@@ -2,7 +2,7 @@
 //! retrained at λ ∈ {1e−4, 1e−3, 1e−2, 1e−1}. Expected shape: STD (and
 //! mostly MDD) decrease as λ grows, trading away some APV.
 
-use ppn_bench::{config_at, fnum, train_and_backtest, Budget, TableWriter};
+use ppn_bench::{config_at, fnum, run_many, Budget, TableWriter};
 use ppn_core::Variant;
 use ppn_market::Preset;
 
@@ -20,16 +20,25 @@ fn main() {
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TableWriter::new("Table 7 — PPN under different lambda", &hdr);
 
+    // Row-major (λ × preset) cell grid, fanned out across the pool.
+    let mut cfgs = Vec::new();
     for &lambda in &lambdas {
-        let mut row = vec![format!("{lambda:.0e}")];
         for &p in &presets {
-            ppn_obs::obs_info!("[table7] lambda={lambda:.0e} on {} ...", p.name());
             let mut cfg = config_at(p, Variant::Ppn, Budget::Sweep);
             cfg.lambda = lambda;
-            let res = train_and_backtest(&cfg);
-            row.push(fnum(res.metrics.apv));
-            row.push(fnum(res.metrics.std_pct));
-            row.push(fnum(res.metrics.mdd * 100.0));
+            cfgs.push(cfg);
+        }
+    }
+    ppn_obs::obs_info!("[table7] fanning out {} cells ...", cfgs.len());
+    let results = run_many("table7_lambda", &cfgs);
+
+    for (li, lambda) in lambdas.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.0e}")];
+        for pi in 0..presets.len() {
+            let m = &results[li * presets.len() + pi].metrics;
+            row.push(fnum(m.apv));
+            row.push(fnum(m.std_pct));
+            row.push(fnum(m.mdd * 100.0));
         }
         table.row(row);
     }

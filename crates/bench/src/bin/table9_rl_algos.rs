@@ -6,9 +6,9 @@
 //! PPN-AC lands well below PPN while still beating the handcraft baselines
 //! thanks to the shared two-stream actor.
 
-use ppn_bench::{default_config, fnum, train_and_backtest, TableWriter};
+use ppn_bench::{default_config, fnum, run_cells, train_and_backtest, TableWriter};
 use ppn_core::prelude::*;
-use ppn_market::{run_backtest, test_range, Dataset, Preset};
+use ppn_market::{run_backtest, test_range, Dataset, Metrics, Preset};
 
 fn main() {
     let run = ppn_bench::start_run("table9_rl_algos");
@@ -18,35 +18,39 @@ fn main() {
         &["Algos", "APV", "STD(%)", "SR(%)", "MDD(%)", "CR"],
     );
 
-    // PPN-AC via DDPG.
-    ppn_obs::obs_info!("[table9] training PPN-AC (DDPG) ...");
-    let ddpg_cfg = DdpgConfig {
-        steps: std::env::var("PPN_DDPG_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(250),
-        ..DdpgConfig::default()
-    };
-    let actor = DdpgTrainer::new(&ds, Variant::Ppn, RewardConfig::default(), ddpg_cfg).train();
-    let mut ac_policy = NetPolicy::new(actor);
-    let ac = run_backtest(&ds, &mut ac_policy, 0.0025, test_range(&ds));
-    table.row(vec![
-        "PPN-AC".into(),
-        fnum(ac.metrics.apv),
-        fnum(ac.metrics.std_pct),
-        fnum(ac.metrics.sharpe_pct),
-        fnum(ac.metrics.mdd * 100.0),
-        fnum(ac.metrics.calmar),
-    ]);
+    // Heterogeneous cells (DDPG actor-critic vs direct policy gradient), so
+    // fan out via `run_cells` with a common `Metrics` payload.
+    let labels = ["PPN-AC".to_string(), "PPN".to_string()];
+    ppn_obs::obs_info!("[table9] fanning out {} cells ...", labels.len());
+    let results: Vec<Metrics> = run_cells("table9_rl_algos", &labels, |i| match i {
+        0 => {
+            // PPN-AC via DDPG.
+            let ddpg_cfg = DdpgConfig {
+                steps: std::env::var("PPN_DDPG_STEPS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(250),
+                ..DdpgConfig::default()
+            };
+            let actor =
+                DdpgTrainer::new(&ds, Variant::Ppn, RewardConfig::default(), ddpg_cfg).train();
+            let mut ac_policy = NetPolicy::new(actor);
+            run_backtest(&ds, &mut ac_policy, 0.0025, test_range(&ds)).metrics
+        }
+        // PPN via direct policy gradient (cached from Table 3).
+        _ => train_and_backtest(&default_config(Preset::CryptoA, Variant::Ppn)).metrics,
+    });
 
-    // PPN via direct policy gradient (cached from Table 3).
-    let res = train_and_backtest(&default_config(Preset::CryptoA, Variant::Ppn));
-    let m = res.metrics;
-    table.row(vec![
-        "PPN".into(),
-        fnum(m.apv),
-        fnum(m.std_pct),
-        fnum(m.sharpe_pct),
-        fnum(m.mdd * 100.0),
-        fnum(m.calmar),
-    ]);
+    for (label, m) in labels.iter().zip(&results) {
+        table.row(vec![
+            label.clone(),
+            fnum(m.apv),
+            fnum(m.std_pct),
+            fnum(m.sharpe_pct),
+            fnum(m.mdd * 100.0),
+            fnum(m.calmar),
+        ]);
+    }
     table.finish("table9.md");
     let _ = run.finish();
 }

@@ -15,7 +15,7 @@ pub mod runner;
 
 pub use plot::{render_line_chart, save_chart, ChartConfig, Series};
 pub use runner::{
-    config_at, default_config, default_steps, fnum, preset_by_name, run_baselines, start_run,
-    steps_for, train_and_backtest, variant_by_name, Budget, ExpConfig, ExpResult, TableWriter,
-    TELEMETRY_DIR,
+    config_at, default_config, default_steps, fnum, preset_by_name, run_baselines, run_cells,
+    run_many, start_run, steps_for, train_and_backtest, variant_by_name, Budget, ExpConfig,
+    ExpResult, TableWriter, TELEMETRY_DIR,
 };

@@ -35,7 +35,7 @@ pub struct ExpConfig {
 }
 
 /// Cached result of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ExpResult {
     /// The configuration that produced this result.
     pub config: ExpConfig,
@@ -45,8 +45,33 @@ pub struct ExpResult {
     pub wealth: Vec<f64>,
     /// Mean reward over the final 10% of training steps.
     pub final_reward: f64,
-    /// Wall-clock training seconds.
+    /// Wall-clock seconds spent in `train_policy` only.
     pub train_secs: f64,
+    /// Wall-clock seconds spent loading/synthesizing the dataset.
+    pub synth_secs: f64,
+    /// Wall-clock seconds spent in the backtest.
+    pub backtest_secs: f64,
+}
+
+// Hand-written so cache files from before the timing split (which lack
+// `synth_secs`/`backtest_secs`) still deserialize; the derive rejects any
+// missing field. Absent timings read back as NaN, never as fake zeros.
+impl serde::Deserialize for ExpResult {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let opt_f64 = |name: &str| match v.field(name) {
+            Ok(x) => f64::deserialize(x),
+            Err(_) => Ok(f64::NAN),
+        };
+        Ok(ExpResult {
+            config: ExpConfig::deserialize(v.field("config")?)?,
+            metrics: Metrics::deserialize(v.field("metrics")?)?,
+            wealth: Vec::<f64>::deserialize(v.field("wealth")?)?,
+            final_reward: f64::deserialize(v.field("final_reward")?)?,
+            train_secs: f64::deserialize(v.field("train_secs")?)?,
+            synth_secs: opt_f64("synth_secs")?,
+            backtest_secs: opt_f64("backtest_secs")?,
+        })
+    }
 }
 
 /// Parses a preset by its display name.
@@ -212,7 +237,9 @@ pub fn train_and_backtest(cfg: &ExpConfig) -> ExpResult {
     );
     let preset = preset_by_name(&cfg.preset);
     let variant = variant_by_name(&cfg.variant);
+    let t_synth = std::time::Instant::now();
     let ds = Dataset::load(preset);
+    let synth_secs = t_synth.elapsed().as_secs_f64();
     let reward = RewardConfig { lambda: cfg.lambda, gamma: cfg.gamma, psi: cfg.psi };
     let train = TrainConfig {
         steps: cfg.steps,
@@ -224,13 +251,17 @@ pub fn train_and_backtest(cfg: &ExpConfig) -> ExpResult {
     let t0 = std::time::Instant::now();
     let (mut policy, report) = train_policy(&ds, variant, reward, train);
     let train_secs = t0.elapsed().as_secs_f64();
+    let t_bt = std::time::Instant::now();
     let bt = run_backtest(&ds, &mut policy, cfg.psi, test_range(&ds));
+    let backtest_secs = t_bt.elapsed().as_secs_f64();
     ppn_obs::event!(
         ppn_obs::Level::Info,
         "experiment.finish",
         preset = cfg.preset.as_str(),
         variant = cfg.variant.as_str(),
         train_secs = train_secs,
+        synth_secs = synth_secs,
+        backtest_secs = backtest_secs,
         final_reward = report.final_reward,
         apv = bt.metrics.apv,
     );
@@ -240,12 +271,51 @@ pub fn train_and_backtest(cfg: &ExpConfig) -> ExpResult {
         wealth: bt.wealth_curve(),
         final_reward: report.final_reward,
         train_secs,
+        synth_secs,
+        backtest_secs,
     };
     let _ = std::fs::create_dir_all(cache_dir());
     if let Ok(js) = serde_json::to_vec_pretty(&res) {
         let _ = std::fs::write(&path, js);
     }
     res
+}
+
+/// Filesystem-safe manifest suffix for one experiment cell.
+fn cell_label(s: &str) -> String {
+    s.replace(['&', '/', ' '], "-")
+}
+
+/// Fans `labels.len()` experiment cells out across the shared worker pool
+/// (`ppn_tensor::par`, sized by `PPN_THREADS`). Each cell runs under its own
+/// run manifest named `<parent>.<label>` in [`TELEMETRY_DIR`], so per-cell
+/// provenance and span reports land next to the table output. Results come
+/// back in cell order regardless of scheduling; `run(i)` is called exactly
+/// once per cell.
+pub fn run_cells<T: Send>(
+    parent: &str,
+    labels: &[String],
+    run: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    ppn_tensor::par::par_map(labels.len(), |i| {
+        let cell = format!("{parent}.{}", cell_label(&labels[i]));
+        let guard = ppn_obs::RunManifest::start(&cell, TELEMETRY_DIR);
+        let out = run(i);
+        let _ = guard.finish();
+        out
+    })
+}
+
+/// Runs every configuration through [`train_and_backtest`], fanned out via
+/// [`run_cells`]. The index prefix keeps manifest names unique even when a
+/// sweep varies a parameter (γ, λ, ψ) that the label text does not show.
+pub fn run_many(parent: &str, cfgs: &[ExpConfig]) -> Vec<ExpResult> {
+    let labels: Vec<String> = cfgs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{i:02}-{}-{}", c.preset, c.variant))
+        .collect();
+    run_cells(parent, &labels, |i| train_and_backtest(&cfgs[i]))
 }
 
 /// Runs the classic baseline suite over a preset's test split.
@@ -392,6 +462,51 @@ mod tests {
         let mut d = a.clone();
         d.lr = 0.5;
         assert_ne!(cache_path(&a), cache_path(&d));
+    }
+
+    #[test]
+    fn exp_result_reads_legacy_cache_without_timing_split() {
+        // Checked-in caches predate `synth_secs`/`backtest_secs`; they must
+        // keep loading, with the absent timings reported as NaN.
+        let cfg = config_at(Preset::CryptoA, Variant::Ppn, Budget::Sweep);
+        let legacy = format!(
+            concat!(
+                r#"{{"config":{},"metrics":{{"apv":1.5,"sharpe_pct":2.0,"calmar":0.5,"#,
+                r#""mdd":0.1,"std_pct":0.2,"turnover":0.3}},"#,
+                r#""wealth":[1.0,1.5],"final_reward":0.01,"train_secs":3.5}}"#
+            ),
+            String::from_utf8(serde_json::to_vec(&cfg).unwrap()).unwrap()
+        );
+        let res: ExpResult = serde_json::from_slice(legacy.as_bytes()).unwrap();
+        assert_eq!(res.train_secs, 3.5);
+        assert!(res.synth_secs.is_nan());
+        assert!(res.backtest_secs.is_nan());
+        assert_eq!(res.wealth, vec![1.0, 1.5]);
+
+        // And a fresh result round-trips its timing split exactly.
+        let fresh = ExpResult {
+            config: cfg,
+            metrics: res.metrics,
+            wealth: vec![1.0],
+            final_reward: 0.25,
+            train_secs: 1.0,
+            synth_secs: 0.5,
+            backtest_secs: 0.25,
+        };
+        let bytes = serde_json::to_vec(&fresh).unwrap();
+        let back: ExpResult = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.synth_secs, 0.5);
+        assert_eq!(back.backtest_secs, 0.25);
+    }
+
+    #[test]
+    fn run_cells_preserves_cell_order_across_threads() {
+        // Keep the per-cell manifest guards inert so the test writes nothing.
+        ppn_obs::init(ppn_obs::ObsConfig::off());
+        let labels: Vec<String> = (0..12).map(|i| format!("cell {i}/x")).collect();
+        let out =
+            ppn_tensor::par::with_threads(4, || run_cells("test_run_cells", &labels, |i| i * 3));
+        assert_eq!(out, (0..12).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -62,4 +62,12 @@ fn spans_metrics_and_step_trace_cover_train_and_backtest() {
     let hist =
         snap.histograms.iter().find(|h| h.name == "backtest.turnover").expect("turnover histogram");
     assert_eq!(hist.count, 40);
+
+    // The pooled tensor kernels record per-call wall time while metrics are
+    // live: a real train + backtest must have populated both histograms.
+    for name in ["tensor.matmul_ms", "tensor.conv_ms"] {
+        let h = snap.histograms.iter().find(|h| h.name == name);
+        let h = h.unwrap_or_else(|| panic!("{name} histogram missing"));
+        assert!(h.count > 0, "{name} recorded no kernel calls");
+    }
 }

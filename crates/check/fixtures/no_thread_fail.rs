@@ -1,0 +1,18 @@
+//! Violations: first-party code spawning threads outside ppn_tensor::par.
+
+pub fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    let h = std::thread::spawn(move || items.iter().sum::<u64>());
+    vec![h.join().unwrap_or(0)]
+}
+
+pub fn scoped(data: &mut [f64]) {
+    std::thread::scope(|s| {
+        for chunk in data.chunks_mut(8) {
+            s.spawn(|| chunk.iter_mut().for_each(|v| *v += 1.0));
+        }
+    });
+}
+
+pub fn named_worker() {
+    let _ = thread::Builder::new().name("worker".into());
+}

@@ -83,6 +83,12 @@ pub fn registry() -> Vec<Rule> {
                           matching assert_simplex/assert_finite invariant call in the tagged fn",
             check: check_contract,
         },
+        Rule {
+            id: "no-thread",
+            description: "only ppn_tensor::par may spawn threads — all other first-party code \
+                          must go through the worker pool (determinism + PPN_THREADS control)",
+            check: check_no_thread,
+        },
     ]
 }
 
@@ -515,6 +521,44 @@ fn check_contract(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+// ---------------------------------------------------------------- no-thread
+
+/// Thread-spawning constructs. `thread::sleep`, `available_parallelism` and
+/// `thread_local!` are deliberately not listed — they don't create threads.
+const THREAD_SPAWN_PATTERNS: [(&str, &str); 3] = [
+    ("thread::spawn", "direct thread::spawn"),
+    ("thread::scope", "scoped thread region"),
+    ("thread::Builder", "thread::Builder spawn"),
+];
+
+fn check_no_thread(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.crate_name.starts_with("ppn") || file.path.ends_with("crates/tensor/src/par.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        for (pat, why) in THREAD_SPAWN_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(diag(
+                    file,
+                    i,
+                    "no-thread",
+                    format!(
+                        "{why} outside ppn_tensor::par — use par::par_chunks_mut/par_map so \
+                         PPN_THREADS and the determinism guarantee apply (`{}`)",
+                        line.code.trim()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +611,19 @@ mod tests {
         assert!(check_contract(&good).is_empty());
         let bad = lib("// ppn-check: contract(finite)\npub fn q(w: &[f64]) -> f64 {\n    w[0]\n}");
         assert_eq!(check_contract(&bad).len(), 1);
+    }
+
+    #[test]
+    fn no_thread_flags_spawns_outside_par() {
+        let src = "pub fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n    thread::Builder::new();\n    std::thread::sleep(d);\n    let n = std::thread::available_parallelism();\n}";
+        let f = lib(src);
+        assert_eq!(check_no_thread(&f).len(), 3, "sleep/available_parallelism are not spawns");
+        // The pool module itself is the single sanctioned spawner.
+        let par = SourceFile::scan("crates/tensor/src/par.rs", "ppn-tensor", Role::Lib, src);
+        assert!(check_no_thread(&par).is_empty());
+        // Third-party shims are out of scope.
+        let shim = SourceFile::scan("crates/rand/src/x.rs", "rand", Role::Lib, src);
+        assert!(check_no_thread(&shim).is_empty());
     }
 
     #[test]

@@ -109,6 +109,23 @@ fn contract_fixtures() {
 }
 
 #[test]
+fn no_thread_fixtures() {
+    assert_eq!(
+        lint_fixture("no_thread_fail.rs", "crates/baselines/src/x.rs", "ppn-baselines"),
+        vec!["no-thread"; 3],
+    );
+    assert_eq!(
+        lint_fixture("no_thread_pass.rs", "crates/bench/src/x.rs", "ppn-bench"),
+        Vec::<&str>::new(),
+    );
+    // The pool module itself is the one sanctioned spawner.
+    assert_eq!(
+        lint_fixture("no_thread_fail.rs", "crates/tensor/src/par.rs", "ppn-tensor"),
+        Vec::<&str>::new(),
+    );
+}
+
+#[test]
 fn allow_syntax_fixtures() {
     // A reasonless allow and an unknown-rule allow are diagnostics, and the
     // reasonless one does NOT suppress the finding it points at.

@@ -69,6 +69,14 @@ impl Ser {
         self.out
     }
 
+    /// Appends `text` verbatim, outside any escaping or comma tracking.
+    /// For writers that emit multiple top-level values into one buffer
+    /// (e.g. JSONL needs a literal `\n` between records); only meaningful
+    /// at depth 0, between complete values.
+    pub fn raw(&mut self, text: &str) {
+        self.out.push_str(text);
+    }
+
     fn newline_indent(&mut self) {
         if self.pretty {
             self.out.push('\n');

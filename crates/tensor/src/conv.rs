@@ -46,7 +46,81 @@ pub fn causal_padding(kernel: usize, dilation: usize) -> (usize, usize) {
     (dilation * (kernel - 1), 0)
 }
 
+/// Shared geometry for one conv call, precomputed once and read by every
+/// worker.
+#[derive(Clone, Copy)]
+struct ConvDims {
+    b: usize,
+    cin: usize,
+    h: usize,
+    wid: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    dh: usize,
+    dw: usize,
+    pt: usize,
+    pl: usize,
+    oh: usize,
+    ow: usize,
+}
+
+impl ConvDims {
+    fn x_stride_c(&self) -> usize {
+        self.h * self.wid
+    }
+    fn x_stride_b(&self) -> usize {
+        self.cin * self.x_stride_c()
+    }
+    fn w_stride_c(&self) -> usize {
+        self.kh * self.kw
+    }
+    fn w_stride_o(&self) -> usize {
+        self.cin * self.w_stride_c()
+    }
+    fn o_stride_c(&self) -> usize {
+        self.oh * self.ow
+    }
+    fn o_stride_b(&self) -> usize {
+        self.cout * self.o_stride_c()
+    }
+    /// Approximate multiply-add count of the forward pass (used to decide
+    /// whether parallel dispatch is worth the spawn overhead).
+    fn flops(&self) -> usize {
+        2usize
+            .saturating_mul(self.b * self.cout)
+            .saturating_mul(self.cin * self.kh * self.kw)
+            .saturating_mul(self.o_stride_c())
+    }
+    /// Hoisted vertical (row) bounds for kernel tap row `ky`: the input row
+    /// offset and the valid output row range.
+    fn y_bounds(&self, ky: usize) -> (isize, usize, usize) {
+        let iy_off = (ky * self.dh) as isize - self.pt as isize;
+        let oy_lo = (-iy_off).max(0) as usize;
+        let oy_hi = ((self.h as isize - iy_off).min(self.oh as isize)).max(0) as usize;
+        (iy_off, oy_lo, oy_hi)
+    }
+    /// Hoisted horizontal (column) bounds for kernel tap column `kx`:
+    /// `None` when no output column sees valid input, otherwise the output
+    /// column range, its length, and the first input column.
+    fn x_bounds(&self, kx: usize) -> Option<(usize, usize, usize)> {
+        let ix_off = (kx * self.dw) as isize - self.pl as isize;
+        let ox_lo = (-ix_off).max(0) as usize;
+        let ox_hi = ((self.wid as isize - ix_off).min(self.ow as isize)).max(0) as usize;
+        if ox_lo >= ox_hi {
+            return None;
+        }
+        let ix_lo = (ox_lo as isize + ix_off) as usize;
+        Some((ox_lo, ox_hi - ox_lo, ix_lo))
+    }
+}
+
 /// Forward convolution. Returns `(B, C_out, H', W')`.
+///
+/// Parallelised over `(batch, C_out)` output planes via [`crate::par`]:
+/// each plane is written by exactly one worker with the same tap-major
+/// accumulation order as the serial loop, so results are bit-identical at
+/// every thread count.
 ///
 /// # Panics
 /// Panics on rank/channel mismatches or when the kernel does not fit.
@@ -66,61 +140,73 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) 
         // ppn-check: allow(no-panic) documented precondition — see `# Panics` above
         panic!("kernel {kh}x{kw} (dil {dh},{dw}) too large for W={wid} pad=({pl},{pr})")
     });
+    let dims = ConvDims { b, cin, h, wid, cout, kh, kw, dh, dw, pt, pl, oh, ow };
 
+    let timer = crate::tensor::kernel_timer();
     let xd = x.data();
     let wd = w.data();
     let mut out = vec![0.0; b * cout * oh * ow];
+    let chunk = plane_chunk(dims.o_stride_c(), b * cout, dims.flops());
+    crate::par::par_chunks_mut(&mut out, chunk, |ci, block| {
+        let planes_per_chunk = chunk / dims.o_stride_c().max(1);
+        for (pi, plane) in block.chunks_mut(dims.o_stride_c().max(1)).enumerate() {
+            let p = ci * planes_per_chunk + pi;
+            forward_plane(&dims, xd, wd, p / cout, p % cout, plane);
+        }
+    });
+    crate::tensor::observe_kernel_ms("tensor.conv_ms", timer);
+    Tensor::from_vec(&[b, cout, oh, ow], out)
+}
 
-    let x_stride_b = cin * h * wid;
-    let x_stride_c = h * wid;
-    let w_stride_o = cin * kh * kw;
-    let w_stride_c = kh * kw;
-    let o_stride_b = cout * oh * ow;
-    let o_stride_c = oh * ow;
+/// Elements per pool chunk when splitting a buffer of `planes` planes of
+/// `plane_len` elements: everything in one chunk when the kernel is too
+/// small to parallelise, otherwise one plane per chunk.
+fn plane_chunk(plane_len: usize, planes: usize, flops: usize) -> usize {
+    let total = plane_len.saturating_mul(planes);
+    if crate::par::threads() <= 1 || flops < crate::tensor::PAR_MIN_FLOPS {
+        total.max(1)
+    } else {
+        plane_len.max(1)
+    }
+}
 
-    // Tap-major loops with hoisted padding bounds: the innermost loop is a
-    // contiguous branch-free AXPY over the output row.
-    for bi in 0..b {
-        for oc in 0..cout {
-            let out_block = bi * o_stride_b + oc * o_stride_c;
-            for ic in 0..cin {
-                let x_block = bi * x_stride_b + ic * x_stride_c;
-                let w_block = oc * w_stride_o + ic * w_stride_c;
-                for ky in 0..kh {
-                    let iy_off = (ky * dh) as isize - pt as isize;
-                    let oy_lo = (-iy_off).max(0) as usize;
-                    let oy_hi = ((h as isize - iy_off).min(oh as isize)).max(0) as usize;
-                    for kx in 0..kw {
-                        let wv = wd[w_block + ky * kw + kx];
-                        if crate::approx::is_zero(wv) {
-                            continue;
-                        }
-                        let ix_off = (kx * dw) as isize - pl as isize;
-                        let ox_lo = (-ix_off).max(0) as usize;
-                        let ox_hi = ((wid as isize - ix_off).min(ow as isize)).max(0) as usize;
-                        if ox_lo >= ox_hi {
-                            continue;
-                        }
-                        let n = ox_hi - ox_lo;
-                        let ix_lo = (ox_lo as isize + ix_off) as usize;
-                        for oy in oy_lo..oy_hi {
-                            let iy = (oy as isize + iy_off) as usize;
-                            let xs = &xd[x_block + iy * wid + ix_lo..][..n];
-                            let os = &mut out[out_block + oy * ow + ox_lo..][..n];
-                            for (o, &xv) in os.iter_mut().zip(xs) {
-                                *o += wv * xv;
-                            }
-                        }
+/// One `(bi, oc)` output plane of the forward pass. Tap-major loops with
+/// hoisted padding bounds: the innermost loop is a contiguous branch-free
+/// AXPY over the output row.
+fn forward_plane(d: &ConvDims, xd: &[f64], wd: &[f64], bi: usize, oc: usize, plane: &mut [f64]) {
+    for ic in 0..d.cin {
+        let x_block = bi * d.x_stride_b() + ic * d.x_stride_c();
+        let w_block = oc * d.w_stride_o() + ic * d.w_stride_c();
+        for ky in 0..d.kh {
+            let (iy_off, oy_lo, oy_hi) = d.y_bounds(ky);
+            for kx in 0..d.kw {
+                let wv = wd[w_block + ky * d.kw + kx];
+                if crate::approx::is_zero(wv) {
+                    continue;
+                }
+                let Some((ox_lo, n, ix_lo)) = d.x_bounds(kx) else { continue };
+                for oy in oy_lo..oy_hi {
+                    let iy = (oy as isize + iy_off) as usize;
+                    let xs = &xd[x_block + iy * d.wid + ix_lo..][..n];
+                    let os = &mut plane[oy * d.ow + ox_lo..][..n];
+                    for (o, &xv) in os.iter_mut().zip(xs) {
+                        *o += wv * xv;
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(&[b, cout, oh, ow], out)
 }
 
 /// Backward pass: returns `(grad_x, grad_w)` given the upstream gradient
 /// `grad_out` of shape `(B, C_out, H', W')`.
+///
+/// Split into two pool-dispatched kernels with disjoint outputs: `grad_x`
+/// parallel over batch samples and `grad_w` parallel over `C_out` kernel
+/// planes. Each keeps the per-element accumulation order of the original
+/// fused serial loop (`oc,ic,ky,kx,oy` for `grad_x`; ascending-`bi` tap
+/// sums for `grad_w`), so both gradients are bit-identical across thread
+/// counts.
 pub fn conv2d_backward(
     x: &Tensor,
     w: &Tensor,
@@ -133,62 +219,90 @@ pub fn conv2d_backward(
     let (dh, dw) = dilation;
     let (pt, _, pl, _) = pad;
     let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+    let dims = ConvDims { b, cin, h, wid, cout, kh, kw, dh, dw, pt, pl, oh, ow };
 
+    let timer = crate::tensor::kernel_timer();
     let xd = x.data();
     let wd = w.data();
     let gd = grad_out.data();
     let mut gx = vec![0.0; xd.len()];
     let mut gw = vec![0.0; wd.len()];
 
-    let x_stride_b = cin * h * wid;
-    let x_stride_c = h * wid;
-    let w_stride_o = cin * kh * kw;
-    let w_stride_c = kh * kw;
-    let o_stride_b = cout * oh * ow;
-    let o_stride_c = oh * ow;
+    let gx_chunk = plane_chunk(dims.x_stride_b(), b, dims.flops());
+    crate::par::par_chunks_mut(&mut gx, gx_chunk, |ci, block| {
+        let per_chunk = gx_chunk / dims.x_stride_b().max(1);
+        for (pi, sample) in block.chunks_mut(dims.x_stride_b().max(1)).enumerate() {
+            grad_x_sample(&dims, wd, gd, ci * per_chunk + pi, sample);
+        }
+    });
 
-    // Same tap-major structure as the forward pass: contiguous inner loops,
-    // padding bounds hoisted out.
-    for bi in 0..b {
-        for oc in 0..cout {
-            let g_block = bi * o_stride_b + oc * o_stride_c;
-            for ic in 0..cin {
-                let x_block = bi * x_stride_b + ic * x_stride_c;
-                let w_block = oc * w_stride_o + ic * w_stride_c;
-                for ky in 0..kh {
-                    let iy_off = (ky * dh) as isize - pt as isize;
-                    let oy_lo = (-iy_off).max(0) as usize;
-                    let oy_hi = ((h as isize - iy_off).min(oh as isize)).max(0) as usize;
-                    for kx in 0..kw {
-                        let woff = w_block + ky * kw + kx;
-                        let wv = wd[woff];
-                        let ix_off = (kx * dw) as isize - pl as isize;
-                        let ox_lo = (-ix_off).max(0) as usize;
-                        let ox_hi = ((wid as isize - ix_off).min(ow as isize)).max(0) as usize;
-                        if ox_lo >= ox_hi {
-                            continue;
+    let gw_chunk = plane_chunk(dims.w_stride_o(), cout, dims.flops());
+    crate::par::par_chunks_mut(&mut gw, gw_chunk, |ci, block| {
+        let per_chunk = gw_chunk / dims.w_stride_o().max(1);
+        for (pi, plane) in block.chunks_mut(dims.w_stride_o().max(1)).enumerate() {
+            grad_w_plane(&dims, xd, gd, ci * per_chunk + pi, plane);
+        }
+    });
+    crate::tensor::observe_kernel_ms("tensor.conv_ms", timer);
+    (Tensor::from_vec(x.shape(), gx), Tensor::from_vec(w.shape(), gw))
+}
+
+/// Input gradient for one batch sample `bi`; `gx_sample` is that sample's
+/// `(C_in, H, W)` slice of `grad_x`. Loop order matches the fused serial
+/// backward (`oc, ic, ky, kx, oy`) so every `grad_x` element accumulates in
+/// the serial sequence.
+fn grad_x_sample(d: &ConvDims, wd: &[f64], gd: &[f64], bi: usize, gx_sample: &mut [f64]) {
+    for oc in 0..d.cout {
+        let g_block = bi * d.o_stride_b() + oc * d.o_stride_c();
+        for ic in 0..d.cin {
+            let x_block = ic * d.x_stride_c();
+            let w_block = oc * d.w_stride_o() + ic * d.w_stride_c();
+            for ky in 0..d.kh {
+                let (iy_off, oy_lo, oy_hi) = d.y_bounds(ky);
+                for kx in 0..d.kw {
+                    let wv = wd[w_block + ky * d.kw + kx];
+                    let Some((ox_lo, n, ix_lo)) = d.x_bounds(kx) else { continue };
+                    for oy in oy_lo..oy_hi {
+                        let iy = (oy as isize + iy_off) as usize;
+                        let grow = &gd[g_block + oy * d.ow + ox_lo..][..n];
+                        let gxrow = &mut gx_sample[x_block + iy * d.wid + ix_lo..][..n];
+                        for (gxv, &g) in gxrow.iter_mut().zip(grow) {
+                            *gxv += g * wv;
                         }
-                        let n = ox_hi - ox_lo;
-                        let ix_lo = (ox_lo as isize + ix_off) as usize;
-                        let mut w_acc = 0.0;
-                        for oy in oy_lo..oy_hi {
-                            let iy = (oy as isize + iy_off) as usize;
-                            let grow = &gd[g_block + oy * ow + ox_lo..][..n];
-                            let xrow_base = x_block + iy * wid + ix_lo;
-                            let gxrow = &mut gx[xrow_base..][..n];
-                            let xrow = &xd[xrow_base..][..n];
-                            for ((gxv, &g), &xv) in gxrow.iter_mut().zip(grow).zip(xrow) {
-                                *gxv += g * wv;
-                                w_acc += g * xv;
-                            }
-                        }
-                        gw[woff] += w_acc;
                     }
                 }
             }
         }
     }
-    (Tensor::from_vec(x.shape(), gx), Tensor::from_vec(w.shape(), gw))
+}
+
+/// Kernel gradient for one output channel `oc`; `gw_plane` is that
+/// channel's `(C_in, KH, KW)` slice of `grad_w`. Each tap's window sum is
+/// accumulated in the serial `(oy, ox)` order and added per batch sample in
+/// ascending `bi`, matching the fused serial backward exactly.
+fn grad_w_plane(d: &ConvDims, xd: &[f64], gd: &[f64], oc: usize, gw_plane: &mut [f64]) {
+    for bi in 0..d.b {
+        let g_block = bi * d.o_stride_b() + oc * d.o_stride_c();
+        for ic in 0..d.cin {
+            let x_block = bi * d.x_stride_b() + ic * d.x_stride_c();
+            for ky in 0..d.kh {
+                let (iy_off, oy_lo, oy_hi) = d.y_bounds(ky);
+                for kx in 0..d.kw {
+                    let Some((ox_lo, n, ix_lo)) = d.x_bounds(kx) else { continue };
+                    let mut w_acc = 0.0;
+                    for oy in oy_lo..oy_hi {
+                        let iy = (oy as isize + iy_off) as usize;
+                        let grow = &gd[g_block + oy * d.ow + ox_lo..][..n];
+                        let xrow = &xd[x_block + iy * d.wid + ix_lo..][..n];
+                        for (&g, &xv) in grow.iter().zip(xrow) {
+                            w_acc += g * xv;
+                        }
+                    }
+                    gw_plane[ic * d.w_stride_c() + ky * d.kw + kx] += w_acc;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@
 //!   and softmax,
 //! * [`Adam`]/[`Sgd`] optimisers over a persistent [`ParamStore`],
 //! * a finite-difference [`gradcheck`](gradcheck::gradcheck) harness used by
-//!   the test suites to certify every backward rule.
+//!   the test suites to certify every backward rule,
+//! * a scoped worker pool ([`par`]) behind the `PPN_THREADS` environment
+//!   variable that parallelises the dominant kernels (`matmul`, the conv
+//!   forward/backward) with bit-identical results at every thread count.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub mod graph;
 pub mod init;
 pub mod layers;
 pub mod optim;
+pub mod par;
 pub mod shape;
 pub mod tensor;
 

@@ -241,6 +241,11 @@ impl Tensor {
 
     /// 2-D matrix multiplication: `(n,k) x (k,m) -> (n,m)`.
     ///
+    /// Row-blocked across the [`crate::par`] worker pool and cache-blocked
+    /// over `k`. Every output element accumulates over `k` in ascending
+    /// order regardless of blocking or thread count, so results are
+    /// bit-identical from `PPN_THREADS=1` to any pool size.
+    ///
     /// # Panics
     /// Panics unless both operands are rank 2 with matching inner dims.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -249,21 +254,15 @@ impl Tensor {
         let (n, k) = (self.shape[0], self.shape[1]);
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {:?} x {:?}", self.shape, other.shape);
+        let timer = kernel_timer();
         let mut out = vec![0.0; n * m];
-        // ikj loop order keeps the inner loop contiguous over both rhs and out.
-        for i in 0..n {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                if crate::approx::is_zero(a) {
-                    continue;
-                }
-                let brow = &other.data[kk * m..(kk + 1) * m];
-                let orow = &mut out[i * m..(i + 1) * m];
-                for j in 0..m {
-                    orow[j] += a * brow[j];
-                }
-            }
-        }
+        let a = &self.data;
+        let b = &other.data;
+        let rows_per_chunk = matmul_rows_per_chunk(n, k, m);
+        crate::par::par_chunks_mut(&mut out, (rows_per_chunk * m).max(1), |ci, block| {
+            matmul_rows(a, b, ci * rows_per_chunk, block, k, m);
+        });
+        observe_kernel_ms("tensor.matmul_ms", timer);
         Tensor { shape: vec![n, m], data: out }
     }
 
@@ -391,6 +390,66 @@ impl Tensor {
     pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
         assert_eq!(self.shape, other.shape);
         self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+}
+
+/// Histogram buckets (milliseconds) shared by the per-kernel timers.
+pub(crate) const KERNEL_MS_BUCKETS: [f64; 9] = [0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0];
+
+/// Starts a wall-clock timer when the metrics registry is live; `None`
+/// keeps the disabled path free of even the `Instant::now` call.
+pub(crate) fn kernel_timer() -> Option<std::time::Instant> {
+    ppn_obs::metrics_enabled().then(std::time::Instant::now)
+}
+
+/// Records a kernel duration (in ms) into the named `ppn_obs` histogram.
+pub(crate) fn observe_kernel_ms(name: &str, timer: Option<std::time::Instant>) {
+    if let Some(t0) = timer {
+        ppn_obs::histogram(name, &KERNEL_MS_BUCKETS).observe(t0.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+/// Work below this many flops stays on the calling thread: scoped-spawn
+/// overhead (tens of microseconds) would dominate the kernel itself.
+pub(crate) const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Output rows per pool chunk: the whole matrix when the problem is too
+/// small to parallelise, otherwise ~4 chunks per worker for load balance.
+fn matmul_rows_per_chunk(n: usize, k: usize, m: usize) -> usize {
+    let flops = 2usize.saturating_mul(n).saturating_mul(k).saturating_mul(m);
+    let t = crate::par::threads();
+    if t <= 1 || flops < PAR_MIN_FLOPS {
+        return n.max(1);
+    }
+    n.div_ceil(t * 4).max(1)
+}
+
+/// Computes output rows `i0..` of `a (n,k) × b (k,m)` into `out_block`
+/// (`rows × m`, row-major). `k` is tiled so a `K_TILE × m` panel of `b`
+/// stays cache-hot across the row sweep; the tile loop still visits `k` in
+/// ascending order for every element, keeping the accumulation order equal
+/// to the naive loop.
+fn matmul_rows(a: &[f64], b: &[f64], i0: usize, out_block: &mut [f64], k: usize, m: usize) {
+    const K_TILE: usize = 64;
+    if m == 0 {
+        return;
+    }
+    let rows = out_block.len() / m;
+    let mut kb = 0;
+    while kb < k {
+        let ke = (kb + K_TILE).min(k);
+        for r in 0..rows {
+            let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+            let orow = &mut out_block[r * m..(r + 1) * m];
+            for kk in kb..ke {
+                let av = arow[kk];
+                let brow = &b[kk * m..(kk + 1) * m];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        kb = ke;
     }
 }
 

@@ -1,0 +1,163 @@
+//! Bit-identity of the pooled kernels across thread counts.
+//!
+//! The worker pool (`ppn_tensor::par`) promises that `matmul`,
+//! `conv2d_forward` and `conv2d_backward` produce byte-for-byte identical
+//! results at every thread count. These tests compare `PPN_THREADS=1`
+//! against a 4-thread pool over randomized shapes (including empty and 1×1
+//! edges) and run the finite-difference gradcheck harness under the pooled
+//! kernels.
+
+use ppn_tensor::conv::{causal_padding, conv2d_backward, conv2d_forward, same_padding};
+use ppn_tensor::gradcheck::gradcheck;
+use ppn_tensor::par::with_threads;
+use ppn_tensor::{ParamStore, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_bit_identical(serial: &Tensor, pooled: &Tensor, what: &str) {
+    assert_eq!(serial.shape(), pooled.shape(), "{what}: shape mismatch");
+    assert_eq!(bits(serial), bits(pooled), "{what}: bits diverged across thread counts");
+}
+
+/// Random matmul operands. Dims reach past the serial-fallback threshold
+/// (2·n·k·m ≥ 2¹⁶) so a meaningful share of cases exercise real fan-out,
+/// and include degenerate `k = 0` inner dims and 1×1 cases.
+fn matmul_case() -> impl Strategy<Value = ((usize, usize, usize), Vec<f64>, Vec<f64>)> {
+    (1usize..48, 0usize..48, 1usize..48).prop_flat_map(|(n, k, m)| {
+        (
+            Just((n, k, m)),
+            prop::collection::vec(-10.0..10.0f64, n * k),
+            prop::collection::vec(-10.0..10.0f64, k * m),
+        )
+    })
+}
+
+/// Random NCHW conv case: geometry plus input/kernel data. Kernel extents
+/// stay within the causal-padded input, so every case is valid.
+type ConvCase = (((usize, usize, usize), (usize, usize), (usize, usize)), Vec<f64>, Vec<f64>);
+
+fn conv_case() -> impl Strategy<Value = ConvCase> {
+    ((1usize..4, 1usize..4, 1usize..9), (1usize..4, 1usize..4), (1usize..10, 1usize..13))
+        .prop_flat_map(|(bc, kk, hw)| {
+            let ((b, cin, cout), (kh, kw), (h, w)) = (bc, kk, hw);
+            (
+                Just((bc, kk, hw)),
+                prop::collection::vec(-5.0..5.0f64, b * cin * h * w),
+                prop::collection::vec(-5.0..5.0f64, cout * cin * kh * kw),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_bit_identical_across_threads(case in matmul_case()) {
+        let ((n, k, m), a, b) = case;
+        let ta = Tensor::from_vec(&[n, k], a);
+        let tb = Tensor::from_vec(&[k, m], b);
+        let serial = with_threads(1, || ta.matmul(&tb));
+        let pooled = with_threads(4, || ta.matmul(&tb));
+        assert_bit_identical(&serial, &pooled, "matmul");
+    }
+
+    #[test]
+    fn conv_forward_and_gradients_bit_identical_across_threads(case in conv_case()) {
+        let (((b, cin, cout), (kh, kw), (h, w)), xd, wd) = case;
+        let x = Tensor::from_vec(&[b, cin, h, w], xd);
+        let kern = Tensor::from_vec(&[cout, cin, kh, kw], wd);
+        // Causal padding on both axes keeps every kernel extent valid.
+        let pad = (kh - 1, 0, kw - 1, 0);
+        let (ys, yp) = (
+            with_threads(1, || conv2d_forward(&x, &kern, (1, 1), pad)),
+            with_threads(4, || conv2d_forward(&x, &kern, (1, 1), pad)),
+        );
+        assert_bit_identical(&ys, &yp, "conv2d_forward");
+
+        let gout = Tensor::ones(ys.shape());
+        let (gxs, gws) = with_threads(1, || conv2d_backward(&x, &kern, &gout, (1, 1), pad));
+        let (gxp, gwp) = with_threads(4, || conv2d_backward(&x, &kern, &gout, (1, 1), pad));
+        assert_bit_identical(&gxs, &gxp, "conv2d grad_x");
+        assert_bit_identical(&gws, &gwp, "conv2d grad_w");
+    }
+}
+
+#[test]
+fn empty_and_unit_matmul_edges() {
+    for t in [1usize, 4] {
+        // k = 0: well-defined all-zero output.
+        let a = Tensor::from_vec(&[3, 0], vec![]);
+        let b = Tensor::from_vec(&[0, 2], vec![]);
+        let y = with_threads(t, || a.matmul(&b));
+        assert_eq!(y.shape(), &[3, 2]);
+        assert!(y.data().iter().all(|&v| v == 0.0));
+        // 1×1 matmul.
+        let a1 = Tensor::from_vec(&[1, 1], vec![3.0]);
+        let b1 = Tensor::from_vec(&[1, 1], vec![-0.5]);
+        assert_eq!(with_threads(t, || a1.matmul(&b1)).data(), &[-1.5]);
+    }
+}
+
+#[test]
+fn unit_conv_edges_match_across_threads() {
+    // 1×1 everything: single batch, channel, pixel, kernel.
+    let x = Tensor::from_vec(&[1, 1, 1, 1], vec![2.5]);
+    let w = Tensor::from_vec(&[1, 1, 1, 1], vec![-2.0]);
+    for t in [1usize, 4] {
+        let y = with_threads(t, || conv2d_forward(&x, &w, (1, 1), (0, 0, 0, 0)));
+        assert_eq!(y.data(), &[-5.0]);
+        let (gx, gw) = with_threads(t, || {
+            conv2d_backward(&x, &w, &Tensor::ones(&[1, 1, 1, 1]), (1, 1), (0, 0, 0, 0))
+        });
+        assert_eq!(gx.data(), &[-2.0]);
+        assert_eq!(gw.data(), &[2.5]);
+    }
+}
+
+#[test]
+fn dilated_same_conv_bit_identical_across_threads() {
+    // The paper's DCONV/CCONV padding modes at a size large enough to
+    // exercise real fan-out.
+    let mut rng = StdRng::seed_from_u64(99);
+    let x = Tensor::randn(&mut rng, &[4, 3, 8, 30], 1.0);
+    let w = Tensor::randn(&mut rng, &[16, 3, 8, 3], 0.5);
+    let (pt, pb) = same_padding(8, 1);
+    let (pl, pr) = causal_padding(3, 2);
+    let pad = (pt, pb, pl, pr);
+    let serial = with_threads(1, || conv2d_forward(&x, &w, (1, 2), pad));
+    let pooled = with_threads(4, || conv2d_forward(&x, &w, (1, 2), pad));
+    assert_bit_identical(&serial, &pooled, "dilated SAME conv");
+    let gout = Tensor::ones(serial.shape());
+    let (gxs, gws) = with_threads(1, || conv2d_backward(&x, &w, &gout, (1, 2), pad));
+    let (gxp, gwp) = with_threads(4, || conv2d_backward(&x, &w, &gout, (1, 2), pad));
+    assert_bit_identical(&gxs, &gxp, "dilated SAME grad_x");
+    assert_bit_identical(&gws, &gwp, "dilated SAME grad_w");
+}
+
+#[test]
+fn gradcheck_passes_under_pooled_kernels() {
+    // Finite-difference certification of the conv + matmul backward rules
+    // while the 4-thread pool is active.
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut store = ParamStore::new();
+    let x = store.add("x", Tensor::randn(&mut rng, &[2, 2, 3, 8], 0.5));
+    let w = store.add("w", Tensor::randn(&mut rng, &[4, 2, 1, 3], 0.5));
+    let report = with_threads(4, || {
+        gradcheck(
+            &mut store,
+            |g, bind| {
+                let y = g.conv2d(bind.node(x), bind.node(w), (1, 2), (0, 0, 4, 0));
+                let sq = g.square(y);
+                g.sum(sq)
+            },
+            1e-5,
+            1,
+        )
+    });
+    assert!(report.max_rel_err < 1e-6, "gradcheck under pool failed: {report:?}");
+}
