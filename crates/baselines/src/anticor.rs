@@ -8,7 +8,7 @@
 //! the original paper.
 
 use crate::simplex::{normalize, uniform};
-use ppn_market::{DecisionContext, Policy};
+use ppn_market::{DecisionContext, SequentialPolicy};
 
 /// Anticor with a single window size `w` (the paper's BAH(Anticor) ensemble
 /// averages several; one well-chosen `w` captures the behaviour).
@@ -108,12 +108,12 @@ impl Anticor {
     }
 }
 
-impl Policy for Anticor {
+impl SequentialPolicy for Anticor {
     fn name(&self) -> String {
         "Anticor".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);

@@ -1,7 +1,7 @@
 //! Market-benchmark strategies: UBAH, Best-in-hindsight, and uniform CRP.
 
 use crate::simplex::uniform;
-use ppn_market::{DecisionContext, Policy};
+use ppn_market::{DecisionContext, SequentialPolicy};
 
 /// Uniform Buy-And-Hold: buy the uniform portfolio once and never rebalance.
 /// After the first period the action simply tracks the drifted weights, so
@@ -11,12 +11,12 @@ pub struct Ubah {
     started: bool,
 }
 
-impl Policy for Ubah {
+impl SequentialPolicy for Ubah {
     fn name(&self) -> String {
         "UBAH".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         if !self.started {
             self.started = true;
             uniform(ctx.dataset.assets() + 1)
@@ -64,12 +64,12 @@ impl BestStock {
     }
 }
 
-impl Policy for BestStock {
+impl SequentialPolicy for BestStock {
     fn name(&self) -> String {
         "Best".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let mut a = vec![0.0; ctx.dataset.assets() + 1];
         a[self.best] = 1.0;
         a
@@ -80,12 +80,12 @@ impl Policy for BestStock {
 #[derive(Debug, Default)]
 pub struct Crp;
 
-impl Policy for Crp {
+impl SequentialPolicy for Crp {
     fn name(&self) -> String {
         "CRP".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         uniform(ctx.dataset.assets() + 1)
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::linalg::{matvec, quad_form};
 use crate::simplex::{project_simplex, uniform};
-use ppn_market::{DecisionContext, Policy};
+use ppn_market::{DecisionContext, SequentialPolicy};
 
 /// CWMR-Var with numerically-solved multiplier.
 pub struct Cwmr {
@@ -136,12 +136,12 @@ impl Cwmr {
     }
 }
 
-impl Policy for Cwmr {
+impl SequentialPolicy for Cwmr {
     fn name(&self) -> String {
         "CWMR".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.mu.len() != n {
             self.init(n);

@@ -2,7 +2,7 @@
 //! Exponential Gradient algorithm.
 
 use crate::simplex::{normalize, uniform};
-use ppn_market::{portfolio_return, DecisionContext, Policy};
+use ppn_market::{portfolio_return, DecisionContext, SequentialPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,12 +39,12 @@ impl UniversalPortfolios {
     }
 }
 
-impl Policy for UniversalPortfolios {
+impl SequentialPolicy for UniversalPortfolios {
     fn name(&self) -> String {
         "UP".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.experts.is_empty() || self.experts[0].len() != n {
             self.init(n);
@@ -97,12 +97,12 @@ impl ExponentialGradient {
     }
 }
 
-impl Policy for ExponentialGradient {
+impl SequentialPolicy for ExponentialGradient {
     fn name(&self) -> String {
         "EG".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);

@@ -5,7 +5,7 @@
 //! project back onto the simplex.
 
 use crate::simplex::{project_simplex, uniform};
-use ppn_market::{portfolio_return, DecisionContext, Policy};
+use ppn_market::{portfolio_return, DecisionContext, SequentialPolicy};
 
 fn mean(v: &[f64]) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
@@ -44,12 +44,12 @@ impl Pamr {
     }
 }
 
-impl Policy for Pamr {
+impl SequentialPolicy for Pamr {
     fn name(&self) -> String {
         "PAMR".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);
@@ -122,12 +122,12 @@ impl Olmar {
     }
 }
 
-impl Policy for Olmar {
+impl SequentialPolicy for Olmar {
     fn name(&self) -> String {
         "OLMAR".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);
@@ -218,12 +218,12 @@ impl Rmr {
     }
 }
 
-impl Policy for Rmr {
+impl SequentialPolicy for Rmr {
     fn name(&self) -> String {
         "RMR".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);
@@ -285,12 +285,12 @@ impl Wmamr {
     }
 }
 
-impl Policy for Wmamr {
+impl SequentialPolicy for Wmamr {
     fn name(&self) -> String {
         "WMAMR".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);

@@ -15,7 +15,7 @@
 
 use crate::linalg::{matvec, rank1_update, scaled_identity, solve};
 use crate::simplex::{project_simplex, uniform};
-use ppn_market::{portfolio_return, DecisionContext, Policy};
+use ppn_market::{portfolio_return, DecisionContext, SequentialPolicy};
 
 /// ONS with parameters `(eta, beta, delta)` following the original paper's
 /// notation: `eta` mixes with uniform, `beta` scales the Newton step.
@@ -78,12 +78,12 @@ impl Ons {
     }
 }
 
-impl Policy for Ons {
+impl SequentialPolicy for Ons {
     fn name(&self) -> String {
         "ONS".into()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
         let n = ctx.dataset.assets() + 1;
         if self.b.len() != n {
             self.b = uniform(n);

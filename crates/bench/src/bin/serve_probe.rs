@@ -1,0 +1,196 @@
+//! Load probe for the ppn-serve micro-batching inference server.
+//!
+//! Starts an in-process server backed by a seeded PPN-LSTM, then drives it
+//! at several client-concurrency levels, fanning requests out on the
+//! `ppn_tensor::par` worker pool. For every level it records client-side
+//! p50/p99 latency, request throughput, and the mean forward-pass batch
+//! size (from the `serve.batch_size` histogram delta), and asserts every
+//! served weight vector is bit-identical to the direct single-sample
+//! `PolicyNet::act` path. Results land in `results/BENCH_serve.json`.
+//!
+//! `--smoke` runs a single reduced level and asserts instead of writing:
+//! 200 responses, simplex outputs, a non-empty `serve.latency_ms`
+//! histogram, and a graceful shutdown.
+
+use ppn_core::prelude::*;
+use ppn_serve::http::http_request;
+use ppn_serve::{DecideRequest, DecideResponse, ModelRegistry, ServeConfig, Server};
+use ppn_tensor::par;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct LevelSample {
+    concurrency: usize,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    rps: f64,
+    mean_batch: f64,
+    bit_identical: bool,
+}
+
+#[derive(serde::Serialize)]
+struct BenchServe {
+    model: String,
+    assets: usize,
+    max_batch: usize,
+    levels: Vec<LevelSample>,
+}
+
+fn small_cfg(assets: usize) -> NetConfig {
+    NetConfig { window: 8, lstm_hidden: 4, tccb_channels: [3, 4, 4], ..NetConfig::paper(assets) }
+}
+
+fn probe_inputs(cfg: &NetConfig, salt: u64) -> (Vec<f64>, Vec<f64>) {
+    let window: Vec<f64> = (0..cfg.assets * cfg.window * cfg.features)
+        .map(|i| 1.0 + 0.003 * ((i as u64 + 7 * salt) as f64 * 0.9).sin())
+        .collect();
+    let prev = vec![1.0 / (cfg.assets as f64 + 1.0); cfg.assets + 1];
+    (window, prev)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drives `rounds` waves of `concurrency` simultaneous decide requests.
+/// Returns per-request client latencies (ms), the wall time (s), and
+/// whether every response was 200 with bit-identical weights.
+fn drive_level(
+    addr: SocketAddr,
+    bodies: &[String],
+    expected_bits: &[Vec<u64>],
+    concurrency: usize,
+    rounds: usize,
+) -> (Vec<f64>, f64, bool) {
+    let mut latencies = Vec::with_capacity(concurrency * rounds);
+    let mut ok = true;
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        let results = par::with_threads(concurrency, || {
+            par::par_map(concurrency, |i| {
+                let salt = (round * concurrency + i) % bodies.len();
+                let t = Instant::now();
+                let resp = http_request(addr, "POST", "/decide", &bodies[salt]);
+                (salt, t.elapsed().as_secs_f64() * 1e3, resp)
+            })
+        });
+        for (salt, ms, resp) in results {
+            latencies.push(ms);
+            let (status, body) = resp.expect("request transport");
+            if status != 200 {
+                println!("  !! status {status}: {body}");
+                ok = false;
+                continue;
+            }
+            let parsed: DecideResponse =
+                serde_json::from_str(&body).expect("response deserializes");
+            let bits: Vec<u64> = parsed.weights.iter().map(|w| w.to_bits()).collect();
+            if bits != expected_bits[salt] {
+                println!("  !! salt {salt}: weights diverged from direct act()");
+                ok = false;
+            }
+        }
+    }
+    (latencies, t0.elapsed().as_secs_f64(), ok)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = ppn_bench::start_run("serve_probe");
+
+    let cfg = small_cfg(4);
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
+
+    // Precompute the direct single-sample reference before the registry
+    // takes ownership of the net.
+    let n_inputs = 32;
+    let mut bodies = Vec::with_capacity(n_inputs);
+    let mut expected_bits = Vec::with_capacity(n_inputs);
+    for salt in 0..n_inputs as u64 {
+        let (window, prev_action) = probe_inputs(&cfg, salt);
+        expected_bits.push(net.act(&window, &prev_action).iter().map(|w| w.to_bits()).collect());
+        let req = DecideRequest { model: "probe".to_string(), window, prev_action };
+        bodies.push(serde_json::to_string(&req).expect("request serializes"));
+    }
+
+    let mut registry = ModelRegistry::new();
+    registry.insert("probe", net);
+    let serve_cfg = ServeConfig::default();
+    let max_batch = serve_cfg.max_batch;
+    let server = Server::start(registry, serve_cfg).expect("server starts");
+    let addr = server.addr();
+    println!("serve_probe: listening on {addr}");
+
+    let levels: &[usize] = if smoke { &[4] } else { &[1, 2, 4, 8, 16] };
+    let rounds = if smoke { 3 } else { 20 };
+    let batch_hist = ppn_serve::metrics::batch_size();
+
+    let mut samples = Vec::new();
+    for &c in levels {
+        let (count0, sum0) = (batch_hist.count(), batch_hist.sum());
+        let (mut lat, wall_s, ok) = drive_level(addr, &bodies, &expected_bits, c, rounds);
+        let (count1, sum1) = (batch_hist.count(), batch_hist.sum());
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let batches = count1 - count0;
+        let mean_batch = if batches > 0 { (sum1 - sum0) / batches as f64 } else { 0.0 };
+        let s = LevelSample {
+            concurrency: c,
+            requests: lat.len(),
+            p50_ms: percentile(&lat, 0.50),
+            p99_ms: percentile(&lat, 0.99),
+            rps: lat.len() as f64 / wall_s,
+            mean_batch,
+            bit_identical: ok,
+        };
+        println!(
+            "c={:<3} {:>4} reqs  p50 {:7.3} ms  p99 {:7.3} ms  {:8.1} req/s  mean batch {:.2}  bit_identical={}",
+            s.concurrency, s.requests, s.p50_ms, s.p99_ms, s.rps, s.mean_batch, s.bit_identical
+        );
+        samples.push(s);
+    }
+
+    assert!(
+        samples.iter().all(|s| s.bit_identical),
+        "batched serving diverged from the single-request act() path"
+    );
+
+    if smoke {
+        assert!(
+            ppn_serve::metrics::latency_ms().count() > 0,
+            "serve.latency_ms must record observations"
+        );
+        // Every response already checked bit-identical against act(), whose
+        // simplex contract is asserted inside the net; re-check the sums
+        // from the wire anyway.
+        let (status, body) =
+            http_request(addr, "POST", "/decide", &bodies[0]).expect("smoke decide");
+        assert_eq!(status, 200, "smoke decide must return 200: {body}");
+        let parsed: DecideResponse = serde_json::from_str(&body).expect("smoke body parses");
+        let sum: f64 = parsed.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "served weights must lie on the simplex: {sum}");
+        server.shutdown();
+        println!("smoke ok: batched serving bit-identical, graceful shutdown clean");
+    } else {
+        server.shutdown();
+        let report = BenchServe {
+            model: "PPN-LSTM".to_string(),
+            assets: cfg.assets,
+            max_batch,
+            levels: samples,
+        };
+        std::fs::create_dir_all("results").ok();
+        let json = serde_json::to_vec_pretty(&report).expect("report serializes");
+        std::fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
+        println!("wrote results/BENCH_serve.json");
+    }
+    let _ = run.finish();
+}

@@ -38,12 +38,13 @@ pub struct Rule {
 }
 
 /// Crates whose library code must be panic-free (rule `no-panic`).
-const PANIC_FREE_CRATES: [&str; 4] = ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor"];
+const PANIC_FREE_CRATES: [&str; 5] =
+    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-serve"];
 /// Crates whose library code must avoid exact float equality (`float-eq`).
-const FLOAT_EQ_CRATES: [&str; 5] =
-    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs"];
+const FLOAT_EQ_CRATES: [&str; 6] =
+    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs", "ppn-serve"];
 /// Crates whose public items must carry doc comments (`pub-doc`).
-const PUB_DOC_CRATES: [&str; 2] = ["ppn-core", "ppn-market"];
+const PUB_DOC_CRATES: [&str; 3] = ["ppn-core", "ppn-market", "ppn-serve"];
 
 /// The full rule set, in reporting order.
 pub fn registry() -> Vec<Rule> {
@@ -85,8 +86,9 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: "no-thread",
-            description: "only ppn_tensor::par may spawn threads — all other first-party code \
-                          must go through the worker pool (determinism + PPN_THREADS control)",
+            description: "only ppn_tensor::par and the ppn-serve listener may spawn threads — \
+                          all other first-party code must go through the worker pool \
+                          (determinism + PPN_THREADS control)",
             check: check_no_thread,
         },
     ]
@@ -531,8 +533,16 @@ const THREAD_SPAWN_PATTERNS: [(&str, &str); 3] = [
     ("thread::Builder", "thread::Builder spawn"),
 ];
 
+/// The only modules allowed to call thread-spawning constructs: the worker
+/// pool itself, and the ppn-serve listener/accept loop (a server must hold
+/// one thread per live connection plus the batcher — work it *dispatches*
+/// still runs on the pool).
+const THREAD_ALLOWED_FILES: [&str; 2] = ["crates/tensor/src/par.rs", "crates/serve/src/server.rs"];
+
 fn check_no_thread(file: &SourceFile) -> Vec<Diagnostic> {
-    if !file.crate_name.starts_with("ppn") || file.path.ends_with("crates/tensor/src/par.rs") {
+    if !file.crate_name.starts_with("ppn")
+        || THREAD_ALLOWED_FILES.iter().any(|p| file.path.ends_with(p))
+    {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -618,9 +628,14 @@ mod tests {
         let src = "pub fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n    thread::Builder::new();\n    std::thread::sleep(d);\n    let n = std::thread::available_parallelism();\n}";
         let f = lib(src);
         assert_eq!(check_no_thread(&f).len(), 3, "sleep/available_parallelism are not spawns");
-        // The pool module itself is the single sanctioned spawner.
+        // The allowlisted spawners: the pool and the serve listener.
         let par = SourceFile::scan("crates/tensor/src/par.rs", "ppn-tensor", Role::Lib, src);
         assert!(check_no_thread(&par).is_empty());
+        let srv = SourceFile::scan("crates/serve/src/server.rs", "ppn-serve", Role::Lib, src);
+        assert!(check_no_thread(&srv).is_empty());
+        // Other ppn-serve modules stay under the rule.
+        let other = SourceFile::scan("crates/serve/src/queue.rs", "ppn-serve", Role::Lib, src);
+        assert_eq!(check_no_thread(&other).len(), 3);
         // Third-party shims are out of scope.
         let shim = SourceFile::scan("crates/rand/src/x.rs", "rand", Role::Lib, src);
         assert!(check_no_thread(&shim).is_empty());

@@ -118,11 +118,18 @@ fn no_thread_fixtures() {
         lint_fixture("no_thread_pass.rs", "crates/bench/src/x.rs", "ppn-bench"),
         Vec::<&str>::new(),
     );
-    // The pool module itself is the one sanctioned spawner.
+    // The pool module itself is a sanctioned spawner.
     assert_eq!(
         lint_fixture("no_thread_fail.rs", "crates/tensor/src/par.rs", "ppn-tensor"),
         Vec::<&str>::new(),
     );
+    // So is the ppn-serve listener/accept loop (other rules — pub-doc —
+    // still apply there, so compare the no-thread findings only)…
+    let server = lint_fixture("no_thread_fail.rs", "crates/serve/src/server.rs", "ppn-serve");
+    assert!(!server.contains(&"no-thread"), "listener must be exempt: {server:?}");
+    // …but no other ppn-serve module gets the exemption.
+    let batcher = lint_fixture("no_thread_fail.rs", "crates/serve/src/batcher.rs", "ppn-serve");
+    assert_eq!(batcher.iter().filter(|r| **r == "no-thread").count(), 3, "{batcher:?}");
 }
 
 #[test]

@@ -5,8 +5,10 @@
 //! learning — after each live period the newly-observed data joins the
 //! training set and a few gradient steps run before the next decision. This
 //! module implements that extension (DESIGN.md lists it as an optional
-//! feature) as a [`Policy`] wrapper, so it backtests under the exact same
-//! harness and accounting as everything else.
+//! feature) as a [`SequentialPolicy`] wrapper — the gradient steps between
+//! decisions make it inherently sequential, so it opts out of batching and
+//! reaches the backtest harness through the blanket
+//! `Policy for SequentialPolicy` impl.
 //!
 //! Zero look-ahead by construction: at period `t` the trainer may only
 //! sample windows whose *outcome* relative `x_{t'}` has `t' < t`.
@@ -14,7 +16,7 @@
 use crate::config::{RewardConfig, TrainConfig};
 use crate::ppn::Variant;
 use crate::trainer::Trainer;
-use ppn_market::{Dataset, DecisionContext, Policy};
+use ppn_market::{Dataset, DecisionContext, SequentialPolicy, Weights};
 
 /// A policy that performs `steps_per_period` gradient updates between
 /// consecutive live decisions, on data up to (but excluding) the current
@@ -47,12 +49,12 @@ impl<'a> OnlineNetPolicy<'a> {
     }
 }
 
-impl Policy for OnlineNetPolicy<'_> {
+impl SequentialPolicy for OnlineNetPolicy<'_> {
     fn name(&self) -> String {
         format!("{}-online", self.trainer.net.variant.name())
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Weights {
         // Extend the trainable horizon to everything strictly before `t`,
         // then adapt.
         if ctx.t > self.last_seen {

@@ -1,9 +1,17 @@
 //! Model checkpointing: save and load trained [`PolicyNet`]s.
 //!
-//! The checkpoint stores the variant, the architecture config, and every
-//! parameter tensor. Loading rebuilds the architecture deterministically and
-//! swaps in the saved weights; parameter registration order is deterministic
-//! per variant, so shapes are verified pairwise on load.
+//! The checkpoint stores a format version, the variant, the architecture
+//! config, and every parameter tensor. Loading rebuilds the architecture
+//! deterministically and swaps in the saved weights; parameter registration
+//! order is deterministic per variant, so shapes are verified pairwise on
+//! load.
+//!
+//! ## Versioning
+//!
+//! Checkpoints carry a `schema_version` field. Files written before the
+//! field existed parse as version 1 (the current layout); files from a
+//! *newer* schema are rejected with a descriptive error instead of being
+//! misread.
 
 use crate::config::NetConfig;
 use crate::ppn::{PolicyNet, Variant};
@@ -11,9 +19,14 @@ use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
+/// The checkpoint format version this build writes and the newest it reads.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// On-disk representation of a trained network.
-#[derive(Serialize, Deserialize)]
+#[derive(Serialize)]
 pub struct Checkpoint {
+    /// Checkpoint format version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Variant display name.
     pub variant: String,
     /// Architecture configuration.
@@ -22,23 +35,55 @@ pub struct Checkpoint {
     pub store: ppn_tensor::ParamStore,
 }
 
-impl PolicyNet {
-    /// Serialises the network to a JSON checkpoint at `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let ck = Checkpoint {
-            variant: self.variant.name().to_string(),
-            cfg: self.cfg.clone(),
-            store: {
-                // Serialize from a reference without cloning tensors twice:
-                // ParamStore is plain data, serde needs an owned or borrowed
-                // value — borrow works via a helper struct below.
-                let mut fresh = ppn_tensor::ParamStore::new();
-                for id in self.store.ids() {
-                    fresh.add(self.store.name(id), self.store.value(id).clone());
-                }
-                fresh
-            },
+// Hand-written so that legacy files without `schema_version` keep loading
+// (the derive shim requires every field to be present).
+impl Deserialize for Checkpoint {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let schema_version = match v.field("schema_version") {
+            Ok(f) => u32::deserialize(f)?,
+            // Pre-versioning checkpoints are by definition version 1.
+            Err(_) => 1,
         };
+        Ok(Checkpoint {
+            schema_version,
+            variant: String::deserialize(v.field("variant")?)?,
+            cfg: NetConfig::deserialize(v.field("cfg")?)?,
+            store: ppn_tensor::ParamStore::deserialize(v.field("store")?)?,
+        })
+    }
+}
+
+/// Borrowed view of a checkpoint, so [`PolicyNet::save`] serialises the
+/// parameter tensors in place instead of cloning the whole store first.
+/// Field order mirrors [`Checkpoint`] exactly; hand-written because the
+/// derive shim does not handle lifetimes.
+struct CheckpointRef<'a> {
+    variant: &'a str,
+    cfg: &'a NetConfig,
+    store: &'a ppn_tensor::ParamStore,
+}
+
+impl Serialize for CheckpointRef<'_> {
+    fn serialize(&self, s: &mut serde::Ser) {
+        s.begin_obj();
+        s.key("schema_version");
+        SCHEMA_VERSION.serialize(s);
+        s.key("variant");
+        self.variant.serialize(s);
+        s.key("cfg");
+        self.cfg.serialize(s);
+        s.key("store");
+        self.store.serialize(s);
+        s.end_obj();
+    }
+}
+
+impl PolicyNet {
+    /// Serialises the network to a JSON checkpoint at `path`, tagged with
+    /// the current [`SCHEMA_VERSION`]. Tensors are serialised borrowed —
+    /// no copy of the parameter store is made.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let ck = CheckpointRef { variant: self.variant.name(), cfg: &self.cfg, store: &self.store };
         let json = serde_json::to_vec(&ck).map_err(io::Error::other)?;
         std::fs::write(path, json)
     }
@@ -46,11 +91,19 @@ impl PolicyNet {
     /// Loads a checkpoint saved by [`PolicyNet::save`].
     ///
     /// # Errors
-    /// Fails on I/O problems, malformed JSON, an unknown variant name, or a
-    /// parameter count/shape mismatch against the rebuilt architecture.
+    /// Fails on I/O problems, malformed JSON, a `schema_version` newer than
+    /// this build understands, an unknown variant name, or a parameter
+    /// count/shape mismatch against the rebuilt architecture.
     pub fn load(path: impl AsRef<Path>) -> io::Result<PolicyNet> {
         let bytes = std::fs::read(path)?;
         let ck: Checkpoint = serde_json::from_slice(&bytes).map_err(io::Error::other)?;
+        if ck.schema_version == 0 || ck.schema_version > SCHEMA_VERSION {
+            return Err(io::Error::other(format!(
+                "checkpoint schema_version {} is not supported: this build reads versions 1..={SCHEMA_VERSION} \
+                 (file written by a newer ppn-core?)",
+                ck.schema_version
+            )));
+        }
         let variant = Variant::from_name(&ck.variant)
             .ok_or_else(|| io::Error::other(format!("unknown variant '{}'", ck.variant)))?;
         // Rebuild the architecture (rng only seeds throwaway initial values).

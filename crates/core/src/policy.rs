@@ -4,7 +4,7 @@
 use crate::config::{RewardConfig, TrainConfig};
 use crate::ppn::{PolicyNet, Variant};
 use crate::trainer::{TrainReport, Trainer};
-use ppn_market::{Dataset, DecisionContext, Policy};
+use ppn_market::{Dataset, DecisionContext, Policy, Weights};
 
 /// A trained policy network wrapped for backtesting.
 pub struct NetPolicy {
@@ -24,15 +24,19 @@ impl Policy for NetPolicy {
         self.net.variant.name().to_string()
     }
 
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
-        let window = ctx.dataset.window(ctx.t, self.net.cfg.window);
-        let mut a = self.net.act(&window, ctx.prev_action);
-        // Guard against tiny softmax round-off drifting off the simplex.
-        let s: f64 = a.iter().sum();
-        for w in &mut a {
-            *w /= s;
+    fn decide_batch(&mut self, ctxs: &[DecisionContext<'_>]) -> Vec<Weights> {
+        let windows: Vec<Vec<f64>> =
+            ctxs.iter().map(|ctx| ctx.dataset.window(ctx.t, self.net.cfg.window)).collect();
+        let prevs: Vec<Vec<f64>> = ctxs.iter().map(|ctx| ctx.prev_action.to_vec()).collect();
+        let mut actions = self.net.act_batch(&windows, &prevs);
+        for a in &mut actions {
+            // Guard against tiny softmax round-off drifting off the simplex.
+            let s: f64 = a.iter().sum();
+            for w in a.iter_mut() {
+                *w /= s;
+            }
         }
-        a
+        actions
     }
 }
 

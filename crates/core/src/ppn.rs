@@ -256,12 +256,31 @@ impl PolicyNet {
     }
 
     /// Convenience single-sample evaluation (no dropout, no gradient):
-    /// returns the `m+1` portfolio for one window.
-    // ppn-check: contract(simplex)
+    /// returns the `m+1` portfolio for one window. The simplex contract is
+    /// enforced inside [`PolicyNet::act_batch`], which this delegates to.
     pub fn act(&self, window: &[f64], prev_action: &[f64]) -> Vec<f64> {
+        let mut out = self.act_batch(&[window.to_vec()], &[prev_action.to_vec()]);
+        debug_assert_eq!(out.len(), 1);
+        out.pop().unwrap_or_default()
+    }
+
+    /// Batched evaluation (no dropout, no gradient): one forward pass over
+    /// all samples, returning an `m+1` portfolio per window.
+    ///
+    /// Every kernel in the forward pass accumulates each output row
+    /// independently of the batch dimension, so each returned portfolio is
+    /// bit-identical to what [`PolicyNet::act`] produces for the same
+    /// `(window, prev_action)` pair — the property the `ppn-serve`
+    /// micro-batcher relies on.
+    // ppn-check: contract(simplex)
+    pub fn act_batch(&self, windows: &[Vec<f64>], prev_actions: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(windows.len(), prev_actions.len(), "act_batch input length mismatch");
+        if windows.is_empty() {
+            return Vec::new();
+        }
         let batch = WindowBatch::new(
-            &[window.to_vec()],
-            &[prev_action.to_vec()],
+            windows,
+            prev_actions,
             self.cfg.assets,
             self.cfg.window,
             self.cfg.features,
@@ -271,9 +290,14 @@ impl PolicyNet {
         // Dropout disabled → rng unused; any cheap source works.
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let out = self.forward(&mut g, &bind, &batch, false, &mut rng);
-        let a = g.value(out).data().to_vec();
-        crate::contracts::assert_simplex(&a, "PolicyNet::act");
-        a
+        let data = g.value(out).data();
+        let row = self.cfg.assets + 1;
+        data.chunks(row)
+            .map(|r| {
+                crate::contracts::assert_simplex(r, "PolicyNet::act_batch");
+                r.to_vec()
+            })
+            .collect()
     }
 }
 
@@ -334,6 +358,43 @@ mod tests {
         assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Deterministic in eval mode.
         assert_eq!(a, net.act(&window, &prev));
+    }
+
+    #[test]
+    fn act_batch_rows_are_bit_identical_to_single_sample_act() {
+        let cfg = NetConfig { window: 8, lstm_hidden: 4, ..NetConfig::paper(3) };
+        for v in [Variant::Ppn, Variant::PpnLstm, Variant::PpnTccbLstm, Variant::Eiie] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let net = PolicyNet::new(v, cfg.clone(), &mut rng);
+            let (m, k, d) = (cfg.assets, cfg.window, cfg.features);
+            let windows: Vec<Vec<f64>> = (0..5)
+                .map(|s| {
+                    (0..m * k * d).map(|i| 1.0 + 0.02 * ((i * (s + 1)) as f64).cos()).collect()
+                })
+                .collect();
+            let prevs: Vec<Vec<f64>> = (0..5)
+                .map(|s| {
+                    let mut p = vec![1.0; m + 1];
+                    p[s % (m + 1)] += 1.0;
+                    let t: f64 = p.iter().sum();
+                    p.iter().map(|w| w / t).collect()
+                })
+                .collect();
+            let batched = net.act_batch(&windows, &prevs);
+            assert_eq!(batched.len(), 5, "{v:?}");
+            for i in 0..5 {
+                let single = net.act(&windows[i], &prevs[i]);
+                // Bitwise, not approximate: the serving micro-batcher
+                // depends on batch size not perturbing decisions.
+                let a: Vec<u64> = batched[i].iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u64> = single.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "{v:?} row {i} differs between batched and single");
+            }
+        }
+        // Empty input short-circuits without building a WindowBatch.
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = PolicyNet::new(Variant::PpnLstm, cfg, &mut rng);
+        assert!(net.act_batch(&[], &[]).is_empty());
     }
 
     #[test]

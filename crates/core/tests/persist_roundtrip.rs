@@ -1,0 +1,223 @@
+//! Checkpoint persistence contract: round-trips across every [`Variant`],
+//! schema versioning (legacy files, future rejection), and the load-time
+//! error paths (truncation, shape mismatch, unknown variant).
+
+use ppn_core::config::NetConfig;
+use ppn_core::persist::{Checkpoint, SCHEMA_VERSION};
+use ppn_core::ppn::{PolicyNet, Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Serialize, Value};
+use std::path::PathBuf;
+
+const ALL_VARIANTS: [Variant; 8] = [
+    Variant::Ppn,
+    Variant::PpnI,
+    Variant::PpnLstm,
+    Variant::PpnTcb,
+    Variant::PpnTccb,
+    Variant::PpnTcbLstm,
+    Variant::PpnTccbLstm,
+    Variant::Eiie,
+];
+
+fn small_cfg(assets: usize) -> NetConfig {
+    NetConfig { window: 8, lstm_hidden: 4, tccb_channels: [3, 4, 4], ..NetConfig::paper(assets) }
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ppn_persist_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn probe_inputs(cfg: &NetConfig) -> (Vec<f64>, Vec<f64>) {
+    let window: Vec<f64> = (0..cfg.assets * cfg.window * cfg.features)
+        .map(|i| 1.0 + 0.003 * (i as f64 * 0.9).sin())
+        .collect();
+    let prev = vec![1.0 / (cfg.assets as f64 + 1.0); cfg.assets + 1];
+    (window, prev)
+}
+
+#[test]
+fn every_variant_round_trips_bitwise() {
+    for (i, v) in ALL_VARIANTS.into_iter().enumerate() {
+        let cfg = small_cfg(3);
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let net = PolicyNet::new(v, cfg.clone(), &mut rng);
+        let (window, prev) = probe_inputs(&cfg);
+        let before = net.act(&window, &prev);
+
+        let path = tmp_path(&format!("rt_{i}.json"));
+        net.save(&path).unwrap();
+        let loaded = PolicyNet::load(&path).unwrap();
+        assert_eq!(loaded.variant, v);
+
+        let after = loaded.act(&window, &prev);
+        let a: Vec<u64> = before.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = after.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b, "{v:?}: loaded net must act bit-identically");
+    }
+}
+
+#[test]
+fn saved_checkpoint_is_tagged_with_current_schema_version() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = PolicyNet::new(Variant::PpnLstm, small_cfg(3), &mut rng);
+    let path = tmp_path("tagged.json");
+    net.save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = Value::parse(&text).unwrap();
+    match v.field("schema_version").unwrap() {
+        Value::Num(n) => assert_eq!(*n, SCHEMA_VERSION as f64),
+        other => panic!("schema_version is not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_checkpoint_without_schema_version_loads_as_v1() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = PolicyNet::new(Variant::PpnTccb, small_cfg(3), &mut rng);
+    let (window, prev) = probe_inputs(&net.cfg);
+    let before = net.act(&window, &prev);
+
+    let path = tmp_path("legacy.json");
+    net.save(&path).unwrap();
+    // Strip the version field, emulating a file written before versioning.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stripped = match Value::parse(&text).unwrap() {
+        Value::Obj(pairs) => {
+            Value::Obj(pairs.into_iter().filter(|(k, _)| k != "schema_version").collect())
+        }
+        other => panic!("checkpoint is not an object: {other:?}"),
+    };
+    std::fs::write(&path, serde_json::to_vec(&stripped).unwrap()).unwrap();
+
+    let loaded = PolicyNet::load(&path).unwrap();
+    assert_eq!(loaded.act(&window, &prev), before);
+}
+
+#[test]
+fn future_schema_version_is_rejected_with_descriptive_error() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = PolicyNet::new(Variant::PpnLstm, small_cfg(3), &mut rng);
+    let path = tmp_path("future.json");
+    net.save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bumped = match Value::parse(&text).unwrap() {
+        Value::Obj(mut pairs) => {
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema_version" {
+                    *v = Value::Num((SCHEMA_VERSION + 1) as f64);
+                }
+            }
+            Value::Obj(pairs)
+        }
+        other => panic!("checkpoint is not an object: {other:?}"),
+    };
+    std::fs::write(&path, serde_json::to_vec(&bumped).unwrap()).unwrap();
+
+    let msg = match PolicyNet::load(&path) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("future schema_version must not load"),
+    };
+    assert!(msg.contains("schema_version"), "undescriptive error: {msg}");
+    assert!(msg.contains(&(SCHEMA_VERSION + 1).to_string()), "missing offending version: {msg}");
+}
+
+#[test]
+fn zero_schema_version_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = PolicyNet::new(Variant::PpnLstm, small_cfg(3), &mut rng);
+    let path = tmp_path("zero.json");
+    net.save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let zeroed =
+        text.replacen(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":0", 1);
+    assert_ne!(zeroed, text, "substitution must hit the version field");
+    std::fs::write(&path, zeroed).unwrap();
+    assert!(PolicyNet::load(&path).is_err());
+}
+
+#[test]
+fn truncated_checkpoint_fails_to_load() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = PolicyNet::new(Variant::Eiie, small_cfg(3), &mut rng);
+    let path = tmp_path("trunc.json");
+    net.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(PolicyNet::load(&path).is_err());
+}
+
+#[test]
+fn unknown_variant_name_is_reported() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = PolicyNet::new(Variant::PpnTcb, small_cfg(3), &mut rng);
+    let path = tmp_path("unknown_variant.json");
+    net.save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.replacen("\"PPN-TCB\"", "\"PPN-QUANTUM\"", 1)).unwrap();
+    let msg = match PolicyNet::load(&path) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("unknown variant must not load"),
+    };
+    assert!(msg.contains("PPN-QUANTUM"), "error should name the variant: {msg}");
+}
+
+#[test]
+fn shape_mismatch_against_rebuilt_architecture_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = PolicyNet::new(Variant::Ppn, small_cfg(4), &mut rng);
+    let path = tmp_path("shape.json");
+    net.save(&path).unwrap();
+    // Re-claim a different asset count: the CCONV kernels' height is the
+    // asset count, so the stored tensors no longer fit the rebuilt net.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = Value::parse(&text).unwrap();
+    let mut ck_pairs = match v {
+        Value::Obj(pairs) => pairs,
+        other => panic!("checkpoint is not an object: {other:?}"),
+    };
+    for (k, val) in ck_pairs.iter_mut() {
+        if k == "cfg" {
+            if let Value::Obj(cfg_pairs) = val {
+                for (ck, cv) in cfg_pairs.iter_mut() {
+                    if ck == "assets" {
+                        *cv = Value::Num(7.0);
+                    }
+                }
+            }
+        }
+    }
+    std::fs::write(&path, serde_json::to_vec(&Value::Obj(ck_pairs)).unwrap()).unwrap();
+    assert!(PolicyNet::load(&path).is_err());
+}
+
+#[test]
+fn owned_checkpoint_serialization_matches_borrowed_save() {
+    // `save` goes through the borrowed CheckpointRef; the owned Checkpoint
+    // (used by tools that edit checkpoints) must produce byte-identical
+    // JSON so the two paths cannot drift apart.
+    let mut rng = StdRng::seed_from_u64(8);
+    let net = PolicyNet::new(Variant::PpnI, small_cfg(3), &mut rng);
+    let path = tmp_path("owned_vs_borrowed.json");
+    net.save(&path).unwrap();
+    let saved = std::fs::read(&path).unwrap();
+
+    let owned = Checkpoint {
+        schema_version: SCHEMA_VERSION,
+        variant: net.variant.name().to_string(),
+        cfg: net.cfg.clone(),
+        store: {
+            let mut s = ppn_tensor::ParamStore::new();
+            for id in net.store.ids() {
+                s.add(net.store.name(id), net.store.value(id).clone());
+            }
+            s
+        },
+    };
+    let mut ser = serde::Ser::new();
+    owned.serialize(&mut ser);
+    assert_eq!(saved, ser.finish().into_bytes());
+}

@@ -25,17 +25,77 @@ pub struct DecisionContext<'a> {
     pub prev_action: &'a [f64],
 }
 
-/// A portfolio selection policy. Implementations must return a vector on the
-/// `m+1` simplex (cash first).
+/// Portfolio weights on the `m+1` simplex, cash at index 0.
+pub type Weights = Vec<f64>;
+
+/// A portfolio selection policy behind the workspace's batch-first decision
+/// API.
+///
+/// The required method is [`Policy::decide_batch`]: given a slice of
+/// independent decision contexts it returns one simplex action per context,
+/// in order. Batch-capable implementations (the neural policies) answer the
+/// whole slice with a single forward pass; one-off callers go through the
+/// provided [`Policy::decide`] adapter, which wraps a single context into a
+/// one-element batch. The trait is object-safe — the backtester and the
+/// `ppn-serve` inference server both drive it as `&mut dyn Policy`.
+///
+/// Implementations whose decisions mutate internal state between contexts
+/// (the classic online baselines) should implement [`SequentialPolicy`]
+/// instead and inherit this trait through its blanket impl.
 pub trait Policy {
     /// Display name used in result tables.
     fn name(&self) -> String;
 
-    /// Decides `a_t` given the context. Must lie on the simplex.
-    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64>;
+    /// Decides one action per context, in order. Every returned vector must
+    /// lie on the `m+1` simplex (cash first), and the output length must
+    /// equal `ctxs.len()`.
+    fn decide_batch(&mut self, ctxs: &[DecisionContext<'_>]) -> Vec<Weights>;
+
+    /// Single-context adapter over [`Policy::decide_batch`]: wraps `ctx`
+    /// into a one-element batch and unwraps the result.
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Weights {
+        let mut out = self.decide_batch(std::slice::from_ref(ctx));
+        debug_assert_eq!(out.len(), 1, "decide_batch must return one action per context");
+        out.pop().unwrap_or_default()
+    }
 
     /// Resets internal state between backtests (default: no-op).
     fn reset(&mut self) {}
+}
+
+/// Per-context decision logic for strategies that update internal state
+/// between consecutive decisions (PAMR's mean-reversion updates, UBAH's
+/// buy-once flag, the online rolling retrainer, …).
+///
+/// Such strategies cannot answer a batch with one fused computation — the
+/// decision for context `i+1` depends on having decided context `i` — so
+/// their batch semantics are fixed by definition: decide each context in
+/// slice order. The blanket impl below lifts any `SequentialPolicy` into the
+/// batch-first [`Policy`] trait with exactly that loop, keeping the
+/// backtester, the experiment harness, and `ppn-serve` on a single API.
+pub trait SequentialPolicy {
+    /// Display name used in result tables.
+    fn name(&self) -> String;
+
+    /// Decides `a_t` for one context. Must lie on the `m+1` simplex.
+    fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Weights;
+
+    /// Resets internal state between backtests (default: no-op).
+    fn reset(&mut self) {}
+}
+
+impl<T: SequentialPolicy> Policy for T {
+    fn name(&self) -> String {
+        SequentialPolicy::name(self)
+    }
+
+    fn decide_batch(&mut self, ctxs: &[DecisionContext<'_>]) -> Vec<Weights> {
+        ctxs.iter().map(|ctx| self.decide_one(ctx)).collect()
+    }
+
+    fn reset(&mut self) {
+        SequentialPolicy::reset(self)
+    }
 }
 
 /// One period of a completed backtest.
@@ -79,6 +139,11 @@ impl BacktestResult {
 ///
 /// `range` indexes into the dataset's relative vectors; for a paper-style
 /// test-split run use `dataset.split..dataset.periods()-1`.
+///
+/// The per-period loop is inherently sequential — the context for period
+/// `t+1` contains the drifted outcome of the action taken at `t` — so the
+/// backtester drives the batch-first [`Policy`] API through its
+/// single-context [`Policy::decide`] adapter (batch size 1).
 ///
 /// # Panics
 /// Panics if the policy returns a vector off the simplex by more than 1e-6.
@@ -187,26 +252,31 @@ mod tests {
     use super::*;
     use crate::dataset::{Dataset, Preset};
 
-    /// Hold-cash policy used to pin down the accounting.
+    /// Hold-cash policy used to pin down the accounting. Implements the
+    /// batch-first trait directly (stateless, so any batch is trivial).
     struct Cash;
     impl Policy for Cash {
         fn name(&self) -> String {
             "CASH".into()
         }
-        fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
-            let mut a = vec![0.0; ctx.dataset.assets() + 1];
-            a[0] = 1.0;
-            a
+        fn decide_batch(&mut self, ctxs: &[DecisionContext<'_>]) -> Vec<Weights> {
+            ctxs.iter()
+                .map(|ctx| {
+                    let mut a = vec![0.0; ctx.dataset.assets() + 1];
+                    a[0] = 1.0;
+                    a
+                })
+                .collect()
         }
     }
 
-    /// Uniform rebalanced policy.
+    /// Uniform rebalanced policy, via the sequential shim.
     struct Uniform;
-    impl Policy for Uniform {
+    impl SequentialPolicy for Uniform {
         fn name(&self) -> String {
             "UNIFORM".into()
         }
-        fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Weights {
             let n = ctx.dataset.assets() + 1;
             vec![1.0 / n as f64; n]
         }
@@ -249,6 +319,83 @@ mod tests {
         // Buying 12/13 of wealth into assets: c ≈ ψ·(12/13).
         let expect = 0.0025 * (12.0 / 13.0);
         assert!((r.records[0].cost - expect).abs() < 1e-4, "{}", r.records[0].cost);
+    }
+
+    /// Counts every context it sees, so batch semantics are observable.
+    struct Counting {
+        seen: Vec<usize>,
+    }
+    impl SequentialPolicy for Counting {
+        fn name(&self) -> String {
+            "COUNTING".into()
+        }
+        fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Weights {
+            self.seen.push(ctx.t);
+            let n = ctx.dataset.assets() + 1;
+            vec![1.0 / n as f64; n]
+        }
+        fn reset(&mut self) {
+            self.seen.clear();
+        }
+    }
+
+    #[test]
+    fn decide_adapter_wraps_a_single_context_batch() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let prev = {
+            let mut p = vec![0.0; ds.assets() + 1];
+            p[0] = 1.0;
+            p
+        };
+        let ctx = DecisionContext {
+            t: 120,
+            dataset: &ds,
+            history: &ds.relatives[..120],
+            drifted: &prev,
+            prev_action: &prev,
+        };
+        let mut p = Counting { seen: Vec::new() };
+        let single = Policy::decide(&mut p, &ctx);
+        let batched = p.decide_batch(std::slice::from_ref(&ctx));
+        assert_eq!(batched.len(), 1);
+        assert_eq!(single, batched[0]);
+        assert_eq!(p.seen, vec![120, 120], "adapter must route through decide_batch");
+    }
+
+    #[test]
+    fn sequential_shim_decides_contexts_in_slice_order() {
+        let ds = Dataset::load(Preset::CryptoA);
+        let prev = {
+            let mut p = vec![0.0; ds.assets() + 1];
+            p[0] = 1.0;
+            p
+        };
+        let ctxs: Vec<DecisionContext<'_>> = (100..104)
+            .map(|t| DecisionContext {
+                t,
+                dataset: &ds,
+                history: &ds.relatives[..t],
+                drifted: &prev,
+                prev_action: &prev,
+            })
+            .collect();
+        let mut p = Counting { seen: Vec::new() };
+        let out = p.decide_batch(&ctxs);
+        assert_eq!(out.len(), 4);
+        assert_eq!(p.seen, vec![100, 101, 102, 103]);
+        Policy::reset(&mut p);
+        assert!(p.seen.is_empty(), "blanket impl must forward reset");
+    }
+
+    #[test]
+    fn sequential_policies_run_under_dyn_policy() {
+        // The blanket impl must coerce into the object-safe trait the
+        // backtester and server drive.
+        let ds = Dataset::load(Preset::CryptoA);
+        let mut p: Box<dyn Policy> = Box::new(Counting { seen: Vec::new() });
+        let r = run_backtest(&ds, p.as_mut(), 0.0025, 100..110);
+        assert_eq!(r.records.len(), 10);
+        assert_eq!(r.name, "COUNTING");
     }
 
     #[test]

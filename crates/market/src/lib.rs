@@ -9,13 +9,18 @@
 //! Proposition-4 bounds, the backtest runner, and the evaluation metrics of
 //! §6.1.2 (APV, SR, CR, MDD, STD, TO).
 //!
+//! Decisions go through the batch-first [`Policy`] trait
+//! (`decide_batch(&[DecisionContext]) -> Vec<Weights>`); simple sequential
+//! strategies implement the per-context [`SequentialPolicy`] shim and
+//! inherit the batch API through its blanket impl:
+//!
 //! ```
-//! use ppn_market::{Dataset, Preset, run_backtest, test_range, Policy, DecisionContext};
+//! use ppn_market::{Dataset, Preset, run_backtest, SequentialPolicy, DecisionContext, Weights};
 //!
 //! struct Uniform;
-//! impl Policy for Uniform {
+//! impl SequentialPolicy for Uniform {
 //!     fn name(&self) -> String { "UBAH-ish".into() }
-//!     fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+//!     fn decide_one(&mut self, ctx: &DecisionContext<'_>) -> Weights {
 //!         let n = ctx.dataset.assets() + 1;
 //!         vec![1.0 / n as f64; n]
 //!     }
@@ -49,6 +54,7 @@ pub mod risk;
 
 pub use backtest::{
     run_backtest, test_range, BacktestResult, DecisionContext, PeriodRecord, Policy,
+    SequentialPolicy, Weights,
 };
 pub use cost::{cost_proportion, max_turnover, prop4_bounds, turnover_l1, CostSolution};
 pub use dataset::{stats, Dataset, DatasetStats, Preset};

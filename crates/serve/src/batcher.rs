@@ -1,0 +1,67 @@
+//! Micro-batch execution: turns a drained slice of queued requests into
+//! batched forward passes — one [`ppn_core::ppn::PolicyNet::act_batch`]
+//! call per model — and routes each outcome back through its reply channel.
+//!
+//! This module only *computes*; the thread that drives it lives in
+//! [`crate::server`] (the `no-thread` lint allowlists only the listener
+//! module). The heavy lifting inside `act_batch` runs on the
+//! `ppn_tensor::par` worker pool via the tensor kernels, and each output
+//! row is bit-identical to a single-request forward pass by the kernels'
+//! row-independence guarantee.
+
+use crate::queue::QueuedRequest;
+use crate::registry::ModelRegistry;
+use crate::{validate_request, DecideResponse, ServeError};
+use std::collections::BTreeMap;
+
+/// Executes one drained batch.
+///
+/// Requests are grouped by model name (`BTreeMap` → deterministic model
+/// order), validated against the model's input contract, and decided with a
+/// single batched forward pass per group. Invalid or unroutable requests
+/// receive their error without poisoning the rest of the batch.
+pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let mut groups: BTreeMap<String, Vec<QueuedRequest>> = BTreeMap::new();
+    for job in jobs {
+        groups.entry(job.request.model.clone()).or_default().push(job);
+    }
+    let batch_hist = crate::metrics::batch_size();
+    let errors = crate::metrics::errors();
+    for (model, group) in groups {
+        let Some(net) = registry.get(&model) else {
+            for job in group {
+                errors.inc();
+                let _ = job.reply.send(Err(ServeError::UnknownModel(model.clone())));
+            }
+            continue;
+        };
+        let mut valid = Vec::new();
+        for job in group {
+            match validate_request(&net, &job.request) {
+                Ok(()) => valid.push(job),
+                Err(e) => {
+                    errors.inc();
+                    let _ = job.reply.send(Err(e));
+                }
+            }
+        }
+        if valid.is_empty() {
+            continue;
+        }
+        let windows: Vec<Vec<f64>> = valid.iter().map(|j| j.request.window.clone()).collect();
+        let prevs: Vec<Vec<f64>> = valid.iter().map(|j| j.request.prev_action.clone()).collect();
+        let batch_size = valid.len();
+        batch_hist.observe(batch_size as f64);
+        let outputs = {
+            let _span = ppn_obs::span!("serve.forward");
+            net.act_batch(&windows, &prevs)
+        };
+        for (job, weights) in valid.into_iter().zip(outputs) {
+            let _ =
+                job.reply.send(Ok(DecideResponse { model: model.clone(), weights, batch_size }));
+        }
+    }
+}

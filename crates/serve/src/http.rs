@@ -1,0 +1,134 @@
+//! Minimal HTTP/1.1 framing over `std::net` — exactly what the JSON API
+//! needs (one request per connection, `Connection: close` semantics) and
+//! nothing more. The workspace is offline, so no external HTTP stack is
+//! available; this keeps the wire format auditable in ~150 lines.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Hard cap on request-head bytes (the server runs on trusted networks;
+/// this guards against accidents, not adversaries).
+const MAX_HEAD: usize = 16 * 1024;
+/// Hard cap on body bytes.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// A parsed inbound request.
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), uppercased by convention.
+    pub method: String,
+    /// Request target path, e.g. `/decide`.
+    pub path: String,
+    /// Raw body bytes (`Content-Length`-framed).
+    pub body: Vec<u8>,
+}
+
+fn proto_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<HttpRequest> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(proto_err("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(proto_err("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| proto_err("non-utf8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(proto_err("malformed request line"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length =
+                    v.trim().parse().map_err(|_| proto_err("unparseable content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(proto_err("request body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(proto_err("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response and flushes the stream.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot client: sends `method path` with a JSON `body` and
+/// returns `(status, response body)`. Used by the e2e tests and the
+/// `serve_probe` load generator.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| proto_err("malformed status line"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}

@@ -1,0 +1,197 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # ppn-serve
+//!
+//! Micro-batching inference server for trained Portfolio Policy Networks:
+//! the live counterpart of the offline backtester, exposing the batch-first
+//! `Policy` decision path over HTTP.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! client ──POST /decide──▶ connection handler ──▶ RequestQueue ─┐
+//! client ──POST /decide──▶ connection handler ──▶      │        │ drain(≤max_batch)
+//!                                                      ▼        ▼
+//!                                              batcher thread ── act_batch (one
+//!                                                      │         forward pass on the
+//!                                                      │         ppn_tensor::par pool)
+//! client ◀─── JSON weights ◀── reply channels ◀────────┘
+//! ```
+//!
+//! Concurrent requests that arrive within a batching window are coalesced
+//! into **one** batched forward pass ([`ppn_core::ppn::PolicyNet::act_batch`]).
+//! Because every tensor kernel keeps its per-row accumulation order
+//! independent of the batch dimension, a micro-batched decision is
+//! **bit-identical** to the same request served alone — batching is purely a
+//! throughput optimisation, never a numerics change (`serve_probe` asserts
+//! this end to end).
+//!
+//! Models come from [`ppn_core::persist`] checkpoints via the
+//! [`registry::ModelRegistry`]; telemetry (request counter, queue-depth
+//! gauge, `serve.latency_ms` / `serve.batch_size` histograms) flows through
+//! `ppn-obs`. The HTTP layer speaks minimal HTTP/1.1 over
+//! `std::net::TcpListener` — the workspace is offline, so no external
+//! server stack is used.
+//!
+//! ## Endpoints
+//!
+//! | Route | Method | Body | Response |
+//! |---|---|---|---|
+//! | `/decide` | POST | [`DecideRequest`] JSON | [`DecideResponse`] JSON |
+//! | `/health` | GET | — | `{"status":"ok","models":[…]}` |
+//! | `/metrics` | GET | — | `ppn_obs::MetricsSnapshot` JSON |
+
+/// Micro-batch execution over drained request groups.
+pub mod batcher;
+/// Minimal HTTP/1.1 framing (server side + one-shot client helper).
+pub mod http;
+/// The FIFO connecting connection handlers to the batcher.
+pub mod queue;
+/// Checkpoint-backed collection of live models.
+pub mod registry;
+/// Listener, connection handling, batcher thread, graceful shutdown.
+pub mod server;
+
+pub use registry::ModelRegistry;
+pub use server::{ServeConfig, Server};
+
+use ppn_core::ppn::PolicyNet;
+
+/// Body of a `POST /decide` request.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DecideRequest {
+    /// Registry name of the model that should decide.
+    pub model: String,
+    /// Flattened `assets × window × features` price window.
+    pub window: Vec<f64>,
+    /// Previous portfolio on the `assets + 1` simplex (cash at index 0).
+    pub prev_action: Vec<f64>,
+}
+
+/// Body of a successful `POST /decide` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DecideResponse {
+    /// The model that produced the decision.
+    pub model: String,
+    /// Portfolio weights on the `assets + 1` simplex, cash at index 0.
+    pub weights: Vec<f64>,
+    /// Size of the forward-pass batch this request was coalesced into.
+    pub batch_size: usize,
+}
+
+/// Why a decision request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The requested model name is not in the registry.
+    UnknownModel(String),
+    /// The request body does not fit the model's input contract.
+    BadRequest(String),
+    /// The server is draining and no longer decides.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::UnknownModel(_) => 404,
+            ServeError::BadRequest(_) => 400,
+            ServeError::ShuttingDown => 503,
+        }
+    }
+
+    /// Human-readable description, used as the JSON error message.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::UnknownModel(name) => format!("unknown model '{name}'"),
+            ServeError::BadRequest(why) => why.clone(),
+            ServeError::ShuttingDown => "server is shutting down".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Checks a request against `net`'s input contract before it may enter a
+/// batch: exact window / previous-action lengths and finite values. This is
+/// what keeps malformed requests from panicking the batched forward pass.
+pub fn validate_request(net: &PolicyNet, req: &DecideRequest) -> Result<(), ServeError> {
+    let cfg = &net.cfg;
+    let want = cfg.assets * cfg.window * cfg.features;
+    if req.window.len() != want {
+        return Err(ServeError::BadRequest(format!(
+            "window has {} values, model '{}' expects {want} (assets {} × window {} × features {})",
+            req.window.len(),
+            req.model,
+            cfg.assets,
+            cfg.window,
+            cfg.features
+        )));
+    }
+    if req.prev_action.len() != cfg.assets + 1 {
+        return Err(ServeError::BadRequest(format!(
+            "prev_action has {} values, model '{}' expects {} (assets + cash)",
+            req.prev_action.len(),
+            req.model,
+            cfg.assets + 1
+        )));
+    }
+    if req.window.iter().any(|v| !v.is_finite()) {
+        return Err(ServeError::BadRequest("window contains non-finite values".to_string()));
+    }
+    if req.prev_action.iter().any(|v| !v.is_finite()) {
+        return Err(ServeError::BadRequest("prev_action contains non-finite values".to_string()));
+    }
+    Ok(())
+}
+
+/// Builds the `{"error": …}` JSON body for an error response.
+pub fn error_json(msg: &str) -> String {
+    let mut s = serde::Ser::new();
+    s.begin_obj();
+    s.key("error");
+    s.write_str(msg);
+    s.end_obj();
+    s.finish()
+}
+
+/// The server's `ppn-obs` instruments, shared by the handler threads, the
+/// batcher, and `serve_probe` (handles are process-global by name).
+pub mod metrics {
+    /// Latency histogram bounds in milliseconds.
+    pub const LATENCY_BOUNDS_MS: [f64; 14] =
+        [0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
+    /// Batch-size histogram bounds.
+    pub const BATCH_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+    /// Total HTTP requests parsed (any route).
+    pub fn requests() -> ppn_obs::metrics::Counter {
+        ppn_obs::counter("serve.requests")
+    }
+
+    /// Requests that ended in an error response.
+    pub fn errors() -> ppn_obs::metrics::Counter {
+        ppn_obs::counter("serve.errors")
+    }
+
+    /// Current decision-queue depth.
+    pub fn queue_depth() -> ppn_obs::metrics::Gauge {
+        ppn_obs::gauge("serve.queue_depth")
+    }
+
+    /// End-to-end `/decide` latency (enqueue → reply), milliseconds.
+    pub fn latency_ms() -> ppn_obs::metrics::Histogram {
+        ppn_obs::histogram("serve.latency_ms", &LATENCY_BOUNDS_MS)
+    }
+
+    /// Forward-pass batch sizes assembled by the batcher.
+    pub fn batch_size() -> ppn_obs::metrics::Histogram {
+        ppn_obs::histogram("serve.batch_size", &BATCH_BOUNDS)
+    }
+}

@@ -1,0 +1,67 @@
+//! The decision queue: connection handlers push parsed requests with a
+//! reply channel; the batcher drains up to `max_batch` of them at a time.
+//! Depth is mirrored into the `serve.queue_depth` gauge on every mutation.
+
+use crate::{DecideRequest, DecideResponse, ServeError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Reply channel carrying one decision outcome back to its handler.
+pub type ReplySender = mpsc::Sender<Result<DecideResponse, ServeError>>;
+
+/// One decision request waiting for a batched forward pass.
+pub struct QueuedRequest {
+    /// The decoded request body.
+    pub request: DecideRequest,
+    /// Where the batcher sends the outcome.
+    pub reply: ReplySender,
+    /// When the request entered the queue.
+    pub enqueued_at: Instant,
+}
+
+/// Lock-protected FIFO between the connection handlers and the batcher.
+pub struct RequestQueue {
+    jobs: Mutex<VecDeque<QueuedRequest>>,
+    depth: ppn_obs::metrics::Gauge,
+}
+
+impl RequestQueue {
+    /// Empty queue; registers the `serve.queue_depth` gauge.
+    pub fn new() -> Self {
+        RequestQueue { jobs: Mutex::new(VecDeque::new()), depth: crate::metrics::queue_depth() }
+    }
+
+    /// Appends a request.
+    pub fn push(&self, job: QueuedRequest) {
+        let mut q = self.jobs.lock();
+        q.push_back(job);
+        self.depth.set(q.len() as f64);
+    }
+
+    /// Removes and returns up to `max` requests from the front.
+    pub fn drain(&self, max: usize) -> Vec<QueuedRequest> {
+        let mut q = self.jobs.lock();
+        let n = max.min(q.len());
+        let out: Vec<QueuedRequest> = q.drain(..n).collect();
+        self.depth.set(q.len() as f64);
+        out
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for RequestQueue {
+    fn default() -> Self {
+        RequestQueue::new()
+    }
+}

@@ -1,0 +1,66 @@
+//! Checkpoint-backed model registry: the set of named networks a server
+//! instance decides with. Models are immutable once registered (`Arc`
+//! snapshots), so the batcher and handlers share them without locking.
+
+use ppn_core::ppn::PolicyNet;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Named collection of live models.
+///
+/// `BTreeMap` keeps name iteration deterministic, which in turn keeps the
+/// batcher's per-model execution order deterministic.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<PolicyNet>>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ModelRegistry { models: BTreeMap::new() }
+    }
+
+    /// Registers an in-memory network under `name` (replacing any previous
+    /// holder of the name).
+    pub fn insert(&mut self, name: impl Into<String>, net: PolicyNet) {
+        let name = name.into();
+        ppn_obs::obs_info!("serve: registered model '{name}'");
+        self.models.insert(name, Arc::new(net));
+    }
+
+    /// Loads a [`ppn_core::persist`] checkpoint from `path` and registers it
+    /// under `name`. Fails with the checkpoint loader's error (bad schema
+    /// version, unknown variant, shape mismatch, …).
+    pub fn load_checkpoint(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<()> {
+        let net = PolicyNet::load(path)?;
+        self.insert(name, net);
+        Ok(())
+    }
+
+    /// The model registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<PolicyNet>> {
+        self.models.get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}

@@ -1,0 +1,271 @@
+//! Listener, connection handling, the batcher thread, and graceful
+//! shutdown. This is the **only** ppn-serve module sanctioned to spawn
+//! threads (enforced by the ppn-check `no-thread` allowlist): the accept
+//! loop, one handler thread per live connection, and the batcher. The
+//! batched forward passes the batcher dispatches still run on the
+//! `ppn_tensor::par` worker pool via the tensor kernels, so `PPN_THREADS`
+//! keeps governing compute parallelism.
+
+use crate::batcher::process_batch;
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::queue::{QueuedRequest, RequestQueue};
+use crate::registry::ModelRegistry;
+use crate::{error_json, metrics, DecideRequest};
+use serde::Serialize;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Largest forward-pass batch the batcher will assemble.
+    pub max_batch: usize,
+    /// How long the batcher sleeps when the queue is empty.
+    pub poll_interval: Duration,
+    /// Extra wait after the first drained request of a batch, letting
+    /// concurrent requests coalesce into the same forward pass.
+    pub gather_window: Duration,
+    /// How long a connection handler waits for its decision before
+    /// answering 504.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 32,
+            poll_interval: Duration::from_micros(100),
+            gather_window: Duration::from_micros(300),
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running inference server.
+///
+/// [`Server::shutdown`] (or dropping the handle) stops accepting, lets
+/// in-flight connections finish, drains the decision queue, and joins every
+/// thread — no request that reached the queue is dropped.
+pub struct Server {
+    addr: SocketAddr,
+    stop_accept: Arc<AtomicBool>,
+    stop_batcher: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the accept loop and the batcher thread, and
+    /// returns immediately.
+    pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(registry);
+        let queue = Arc::new(RequestQueue::new());
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let stop_batcher = Arc::new(AtomicBool::new(false));
+        // Touch every instrument up front so /metrics and shutdown
+        // snapshots expose them even before the first request.
+        metrics::requests();
+        metrics::errors();
+        metrics::latency_ms();
+        metrics::batch_size();
+
+        let batcher = {
+            let registry = Arc::clone(&registry);
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop_batcher);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || loop {
+                let mut jobs = queue.drain(cfg.max_batch);
+                if jobs.is_empty() {
+                    if stop.load(Ordering::SeqCst) {
+                        if queue.is_empty() {
+                            break;
+                        }
+                    } else {
+                        std::thread::sleep(cfg.poll_interval);
+                    }
+                    continue;
+                }
+                // Micro-batching: give concurrent requests a beat to land,
+                // then top the batch up before paying for a forward pass.
+                if jobs.len() < cfg.max_batch && !cfg.gather_window.is_zero() {
+                    std::thread::sleep(cfg.gather_window);
+                    jobs.extend(queue.drain(cfg.max_batch - jobs.len()));
+                }
+                process_batch(&registry, jobs);
+            })
+        };
+
+        let accept = {
+            let registry = Arc::clone(&registry);
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop_accept);
+            let timeout = cfg.request_timeout;
+            std::thread::spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = Arc::clone(&registry);
+                    let queue = Arc::clone(&queue);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &registry, &queue, timeout);
+                    }));
+                    // Reap finished handlers so long-lived servers don't
+                    // accumulate join handles.
+                    handlers.retain(|h| !h.is_finished());
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+        };
+        ppn_obs::obs_info!("serve: listening on {addr}");
+        Ok(Server { addr, stop_accept, stop_batcher, accept: Some(accept), batcher: Some(batcher) })
+    }
+
+    /// The bound socket address (resolves the ephemeral port of `addr: …:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight connections,
+    /// drain the decision queue, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.stop_accept.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Every producer (handler thread) is joined: tell the batcher to
+        // finish the remaining queue and exit.
+        self.stop_batcher.store(true, Ordering::SeqCst);
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        ppn_obs::obs_info!("serve: {} shut down", self.addr);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.batcher.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &ModelRegistry,
+    queue: &RequestQueue,
+    timeout: Duration,
+) {
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            metrics::errors().inc();
+            let _ =
+                write_response(&mut stream, 400, &error_json(&format!("malformed request: {e}")));
+            return;
+        }
+    };
+    metrics::requests().inc();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/decide") => handle_decide(stream, &req, queue, timeout),
+        ("GET", "/health") => {
+            let mut s = serde::Ser::new();
+            s.begin_obj();
+            s.key("status");
+            s.write_str("ok");
+            s.key("models");
+            registry.names().serialize(&mut s);
+            s.end_obj();
+            let _ = write_response(&mut stream, 200, &s.finish());
+        }
+        ("GET", "/metrics") => match serde_json::to_string(&ppn_obs::metrics_snapshot()) {
+            Ok(body) => {
+                let _ = write_response(&mut stream, 200, &body);
+            }
+            Err(e) => {
+                metrics::errors().inc();
+                let _ =
+                    write_response(&mut stream, 500, &error_json(&format!("snapshot failed: {e}")));
+            }
+        },
+        (m, "/decide" | "/health" | "/metrics") => {
+            metrics::errors().inc();
+            let _ = write_response(
+                &mut stream,
+                405,
+                &error_json(&format!("method {m} not allowed on {}", req.path)),
+            );
+        }
+        (_, p) => {
+            metrics::errors().inc();
+            let _ = write_response(&mut stream, 404, &error_json(&format!("no route {p}")));
+        }
+    }
+}
+
+fn handle_decide(
+    mut stream: TcpStream,
+    req: &HttpRequest,
+    queue: &RequestQueue,
+    timeout: Duration,
+) {
+    let parsed: DecideRequest = match serde_json::from_slice(&req.body) {
+        Ok(p) => p,
+        Err(e) => {
+            metrics::errors().inc();
+            let _ =
+                write_response(&mut stream, 400, &error_json(&format!("bad request body: {e}")));
+            return;
+        }
+    };
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    queue.push(QueuedRequest { request: parsed, reply: tx, enqueued_at: started });
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(resp)) => {
+            metrics::latency_ms().observe(started.elapsed().as_secs_f64() * 1e3);
+            match serde_json::to_string(&resp) {
+                Ok(body) => {
+                    let _ = write_response(&mut stream, 200, &body);
+                }
+                Err(e) => {
+                    metrics::errors().inc();
+                    let _ = write_response(
+                        &mut stream,
+                        500,
+                        &error_json(&format!("response serialization failed: {e}")),
+                    );
+                }
+            }
+        }
+        // Routing/validation errors: the batcher already counted them.
+        Ok(Err(e)) => {
+            let _ = write_response(&mut stream, e.status(), &error_json(&e.message()));
+        }
+        Err(_) => {
+            metrics::errors().inc();
+            let _ = write_response(&mut stream, 504, &error_json("decision timed out"));
+        }
+    }
+}

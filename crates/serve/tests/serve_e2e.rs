@@ -1,0 +1,187 @@
+//! End-to-end tests for ppn-serve: concurrent decide requests must be
+//! bit-identical to direct single-sample `PolicyNet::act`, the health /
+//! metrics endpoints must work, error paths must map to the right HTTP
+//! statuses, and shutdown must be graceful.
+//!
+//! Metrics share one process-global registry, so these tests only assert
+//! monotone facts (counts grew, histogram non-empty) and never reset it.
+
+use ppn_core::config::NetConfig;
+use ppn_core::ppn::{PolicyNet, Variant};
+use ppn_serve::batcher::process_batch;
+use ppn_serve::http::http_request;
+use ppn_serve::queue::{QueuedRequest, RequestQueue};
+use ppn_serve::{DecideRequest, DecideResponse, ModelRegistry, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::sync::mpsc;
+use std::time::Instant;
+
+fn small_cfg(assets: usize) -> NetConfig {
+    NetConfig { window: 8, lstm_hidden: 4, tccb_channels: [3, 4, 4], ..NetConfig::paper(assets) }
+}
+
+fn probe_inputs(cfg: &NetConfig, salt: u64) -> (Vec<f64>, Vec<f64>) {
+    let window: Vec<f64> = (0..cfg.assets * cfg.window * cfg.features)
+        .map(|i| 1.0 + 0.003 * ((i as u64 + 7 * salt) as f64 * 0.9).sin())
+        .collect();
+    let prev = vec![1.0 / (cfg.assets as f64 + 1.0); cfg.assets + 1];
+    (window, prev)
+}
+
+/// Starts a server with one seeded PPN-LSTM model named `model`, returning
+/// the handle plus the per-salt expected outputs of the direct `act` path.
+fn start_server(n_expected: u64) -> (Server, Vec<Vec<f64>>, NetConfig) {
+    let cfg = small_cfg(3);
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
+    let expected: Vec<Vec<f64>> = (0..n_expected)
+        .map(|salt| {
+            let (w, p) = probe_inputs(&cfg, salt);
+            net.act(&w, &p)
+        })
+        .collect();
+    let mut registry = ModelRegistry::new();
+    registry.insert("model", net);
+    let server = Server::start(registry, ServeConfig::default()).unwrap();
+    (server, expected, cfg)
+}
+
+fn decide_body(cfg: &NetConfig, salt: u64) -> String {
+    let (window, prev_action) = probe_inputs(cfg, salt);
+    serde_json::to_string(&DecideRequest { model: "model".to_string(), window, prev_action })
+        .unwrap()
+}
+
+#[test]
+fn concurrent_decides_are_bit_identical_to_direct_act() {
+    let clients = 8;
+    let (server, expected, cfg) = start_server(clients as u64);
+    let addr = server.addr();
+    let bodies: Vec<String> = (0..clients).map(|i| decide_body(&cfg, i as u64)).collect();
+
+    // Fan the requests out on the tensor worker pool (bench/test code may
+    // not spawn raw threads) so several land inside one gather window.
+    let responses = ppn_tensor::par::with_threads(clients, || {
+        ppn_tensor::par::par_map(clients, |i| http_request(addr, "POST", "/decide", &bodies[i]))
+    });
+
+    let mut max_batch = 0usize;
+    for (i, resp) in responses.into_iter().enumerate() {
+        let (status, body) = resp.unwrap();
+        assert_eq!(status, 200, "client {i}: body {body}");
+        let resp: DecideResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.model, "model");
+        let got: Vec<u64> = resp.weights.iter().map(|w| w.to_bits()).collect();
+        let want: Vec<u64> = expected[i].iter().map(|w| w.to_bits()).collect();
+        assert_eq!(got, want, "client {i}: batched weights must be bit-identical to act()");
+        max_batch = max_batch.max(resp.batch_size);
+    }
+    assert!(max_batch >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn health_and_metrics_endpoints_respond() {
+    let (server, _expected, cfg) = start_server(1);
+    let addr = server.addr();
+
+    // One decide so serve.latency_ms has at least one observation.
+    let (status, _) = http_request(addr, "POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+    assert_eq!(status, 200);
+
+    let (status, body) = http_request(addr, "GET", "/health", "").unwrap();
+    assert_eq!(status, 200);
+    let health = Value::parse(&body).unwrap();
+    match health.field("status").unwrap() {
+        Value::Str(s) => assert_eq!(s, "ok"),
+        other => panic!("unexpected status value {other:?}"),
+    }
+    assert!(body.contains("\"model\""), "health must list registered models: {body}");
+
+    let (status, body) = http_request(addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("serve.latency_ms"), "metrics must expose serve.latency_ms: {body}");
+    assert!(body.contains("serve.batch_size"), "metrics must expose serve.batch_size: {body}");
+    // The histogram must be non-empty after a successful decide.
+    assert!(ppn_serve::metrics::latency_ms().count() > 0);
+    assert!(ppn_serve::metrics::batch_size().count() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn error_paths_map_to_http_statuses() {
+    let (server, _expected, cfg) = start_server(1);
+    let addr = server.addr();
+
+    let (status, body) = http_request(addr, "POST", "/decide", "{not json").unwrap();
+    assert_eq!(status, 400, "bad JSON: {body}");
+
+    let mut req = serde_json::from_str::<DecideRequest>(&decide_body(&cfg, 0)).unwrap();
+    req.model = "nope".to_string();
+    let (status, body) =
+        http_request(addr, "POST", "/decide", &serde_json::to_string(&req).unwrap()).unwrap();
+    assert_eq!(status, 404, "unknown model: {body}");
+    assert!(body.contains("nope"), "error should name the model: {body}");
+
+    let mut req = serde_json::from_str::<DecideRequest>(&decide_body(&cfg, 0)).unwrap();
+    req.window.pop();
+    let (status, body) =
+        http_request(addr, "POST", "/decide", &serde_json::to_string(&req).unwrap()).unwrap();
+    assert_eq!(status, 400, "wrong window length: {body}");
+
+    let (status, _) = http_request(addr, "GET", "/decide", "").unwrap();
+    assert_eq!(status, 405, "GET on /decide");
+
+    let (status, _) = http_request(addr, "POST", "/bogus", "{}").unwrap();
+    assert_eq!(status, 404, "unknown route");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent_under_drop() {
+    let (server, _expected, cfg) = start_server(1);
+    let addr = server.addr();
+    let (status, _) = http_request(addr, "POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+    // Post-shutdown the port no longer serves decisions.
+    assert!(http_request(addr, "POST", "/decide", &decide_body(&cfg, 0)).is_err());
+
+    // Dropping without an explicit shutdown must also join cleanly.
+    let (server2, _expected, _cfg) = start_server(1);
+    drop(server2);
+}
+
+#[test]
+fn process_batch_coalesces_jobs_into_one_forward_pass() {
+    let cfg = small_cfg(3);
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
+    let mut registry = ModelRegistry::new();
+    registry.insert("m", net);
+
+    let queue = RequestQueue::new();
+    let n = 5;
+    let mut receivers = Vec::new();
+    for salt in 0..n {
+        let (window, prev_action) = probe_inputs(&cfg, salt);
+        let (tx, rx) = mpsc::channel();
+        queue.push(QueuedRequest {
+            request: DecideRequest { model: "m".to_string(), window, prev_action },
+            reply: tx,
+            enqueued_at: Instant::now(),
+        });
+        receivers.push(rx);
+    }
+    assert_eq!(queue.len(), n as usize);
+    process_batch(&registry, queue.drain(16));
+    assert!(queue.is_empty());
+    for rx in receivers {
+        let resp = rx.recv().unwrap().unwrap();
+        assert_eq!(resp.batch_size, n as usize, "all jobs must share one forward pass");
+        let sum: f64 = resp.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights must lie on the simplex: {sum}");
+    }
+}

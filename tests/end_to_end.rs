@@ -50,11 +50,11 @@ fn net_policy_and_baseline_share_harness_accounting() {
     // regardless of which crate produced it — pin this by comparing a CRP
     // baseline against a replayed copy of its own actions.
     struct Replay(Vec<Vec<f64>>, usize);
-    impl ppn_repro::market::Policy for Replay {
+    impl ppn_repro::market::SequentialPolicy for Replay {
         fn name(&self) -> String {
             "REPLAY".into()
         }
-        fn decide(&mut self, _: &ppn_repro::market::DecisionContext<'_>) -> Vec<f64> {
+        fn decide_one(&mut self, _: &ppn_repro::market::DecisionContext<'_>) -> Vec<f64> {
             let a = self.0[self.1].clone();
             self.1 += 1;
             a
