@@ -54,3 +54,47 @@ fn disabled_telemetry_is_under_the_two_percent_budget() {
          {projected:.0}ns per step vs 2% budget {budget:.0}ns (step {step_ns:.0}ns)"
     );
 }
+
+#[test]
+fn sampled_request_tracing_stays_inside_the_budget() {
+    ppn_obs::init(ppn_obs::ObsConfig::off());
+
+    // Baseline: a real training step (same shape as the disabled-path test;
+    // the two tests share one process, and init is first-caller-wins).
+    let ds = Dataset::load(Preset::CryptoA);
+    let cfg = TrainConfig { steps: 3, batch: 8, ..TrainConfig::default() };
+    let mut tr = Trainer::new(&ds, Variant::PpnLstm, RewardConfig::default(), cfg);
+    tr.step(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        tr.step();
+    }
+    let step_ns = t0.elapsed().as_nanos() as f64 / 3.0;
+
+    // Cost of one fully *sampled* trace cluster — a root plus two child
+    // stage spans, the shape `train.step` and `serve.request` emit — with
+    // the sink gated off. This bounds what `PPN_TRACE_SAMPLE=1` adds on top
+    // of id generation when trace-level output is not being written.
+    ppn_obs::trace::set_sample_rate(1);
+    let iters = 100_000u64;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        let root = ppn_obs::TraceSpan::root("overhead.trace");
+        let ctx = root.context();
+        black_box(ctx.is_sampled());
+        let _a = ctx.child("overhead.stage_a");
+        let _b = ctx.child("overhead.stage_b");
+    }
+    let cluster_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    ppn_obs::trace::set_sample_rate(0);
+
+    // Even at 100 traced clusters per training step (a step emits one),
+    // sampled tracing must stay under the same 2% budget.
+    let budget = 0.02 * step_ns;
+    let projected = 100.0 * cluster_ns;
+    assert!(
+        projected < budget,
+        "sampled tracing too slow: {cluster_ns:.1}ns/cluster, projected \
+         {projected:.0}ns per step vs 2% budget {budget:.0}ns (step {step_ns:.0}ns)"
+    );
+}

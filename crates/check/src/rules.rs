@@ -38,13 +38,13 @@ pub struct Rule {
 }
 
 /// Crates whose library code must be panic-free (rule `no-panic`).
-const PANIC_FREE_CRATES: [&str; 5] =
-    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-serve"];
+const PANIC_FREE_CRATES: [&str; 7] =
+    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-serve", "ppn-obs", "ppn-trace"];
 /// Crates whose library code must avoid exact float equality (`float-eq`).
-const FLOAT_EQ_CRATES: [&str; 6] =
-    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs", "ppn-serve"];
+const FLOAT_EQ_CRATES: [&str; 7] =
+    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs", "ppn-serve", "ppn-trace"];
 /// Crates whose public items must carry doc comments (`pub-doc`).
-const PUB_DOC_CRATES: [&str; 3] = ["ppn-core", "ppn-market", "ppn-serve"];
+const PUB_DOC_CRATES: [&str; 5] = ["ppn-core", "ppn-market", "ppn-serve", "ppn-obs", "ppn-trace"];
 
 /// The full rule set, in reporting order.
 pub fn registry() -> Vec<Rule> {
@@ -52,7 +52,7 @@ pub fn registry() -> Vec<Rule> {
         Rule {
             id: "no-panic",
             description: "no unwrap()/expect()/panic!/todo!/unimplemented! in library code of \
-                          core, market, baselines, tensor",
+                          core, market, baselines, tensor, serve, obs, trace",
             check: check_no_panic,
         },
         Rule {
@@ -75,7 +75,8 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: "pub-doc",
-            description: "every public item in core and market carries a doc comment",
+            description: "every public item in core, market, serve, obs, and trace carries a \
+                          doc comment",
             check: check_pub_doc,
         },
         Rule {
@@ -534,10 +535,11 @@ const THREAD_SPAWN_PATTERNS: [(&str, &str); 3] = [
 ];
 
 /// The only modules allowed to call thread-spawning constructs: the worker
-/// pool itself, and the ppn-serve listener/accept loop (a server must hold
+/// pool itself, the ppn-serve listener/accept loop (a server must hold
 /// one thread per live connection plus the batcher — work it *dispatches*
-/// still runs on the pool).
-const THREAD_ALLOWED_FILES: [&str; 2] = ["crates/tensor/src/par.rs", "crates/serve/src/server.rs"];
+/// still runs on the pool), and the one-thread ppn-obs stats endpoint.
+const THREAD_ALLOWED_FILES: [&str; 3] =
+    ["crates/tensor/src/par.rs", "crates/serve/src/server.rs", "crates/obs/src/stats.rs"];
 
 fn check_no_thread(file: &SourceFile) -> Vec<Diagnostic> {
     if !file.crate_name.starts_with("ppn")
@@ -628,11 +630,14 @@ mod tests {
         let src = "pub fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n    thread::Builder::new();\n    std::thread::sleep(d);\n    let n = std::thread::available_parallelism();\n}";
         let f = lib(src);
         assert_eq!(check_no_thread(&f).len(), 3, "sleep/available_parallelism are not spawns");
-        // The allowlisted spawners: the pool and the serve listener.
+        // The allowlisted spawners: the pool, the serve listener, and the
+        // obs stats endpoint.
         let par = SourceFile::scan("crates/tensor/src/par.rs", "ppn-tensor", Role::Lib, src);
         assert!(check_no_thread(&par).is_empty());
         let srv = SourceFile::scan("crates/serve/src/server.rs", "ppn-serve", Role::Lib, src);
         assert!(check_no_thread(&srv).is_empty());
+        let stats = SourceFile::scan("crates/obs/src/stats.rs", "ppn-obs", Role::Lib, src);
+        assert!(check_no_thread(&stats).is_empty());
         // Other ppn-serve modules stay under the rule.
         let other = SourceFile::scan("crates/serve/src/queue.rs", "ppn-serve", Role::Lib, src);
         assert_eq!(check_no_thread(&other).len(), 3);

@@ -53,11 +53,11 @@ fn float_eq_fixtures() {
 #[test]
 fn hash_iter_fixtures() {
     assert_eq!(
-        lint_fixture("hash_iter_fail.rs", "crates/obs/src/x.rs", "ppn-obs"),
+        lint_fixture("hash_iter_fail.rs", "crates/bench/src/x.rs", "ppn-bench"),
         vec!["hash-iter"],
     );
     assert_eq!(
-        lint_fixture("hash_iter_pass.rs", "crates/obs/src/x.rs", "ppn-obs"),
+        lint_fixture("hash_iter_pass.rs", "crates/bench/src/x.rs", "ppn-bench"),
         Vec::<&str>::new(),
     );
 }
@@ -91,8 +91,13 @@ fn pub_doc_fixtures() {
     );
     // Out-of-scope crates are exempt from pub-doc.
     assert_eq!(
-        lint_fixture("pub_doc_fail.rs", "crates/obs/src/x.rs", "ppn-obs"),
+        lint_fixture("pub_doc_fail.rs", "crates/bench/src/x.rs", "ppn-bench"),
         Vec::<&str>::new(),
+    );
+    // ppn-obs and ppn-trace joined the pub-doc scope with the tracing work.
+    assert_eq!(
+        lint_fixture("pub_doc_fail.rs", "crates/trace/src/x.rs", "ppn-trace"),
+        vec!["pub-doc"; 3],
     );
 }
 

@@ -14,7 +14,15 @@
 //!   `results/telemetry/`;
 //! * [`manifest::RunManifest`] — provenance capture (binary, args, seed,
 //!   git describe, timing) so every table/figure is reproducible from its
-//!   manifest.
+//!   manifest;
+//! * [`trace`] — request-scoped distributed tracing ([`TraceSpan`] /
+//!   [`TraceContext`]) with `PPN_TRACE_SAMPLE=1/N` sampling, emitted as
+//!   `trace.span` JSONL events the `ppn-trace` binary turns into
+//!   flamegraphs, latency breakdowns, and waterfalls;
+//! * [`prom`] — Prometheus text exposition of metric snapshots (cumulative
+//!   `le` buckets, `+Inf`, `_sum`/`_count`) plus log-linear auto-bucketing;
+//! * [`stats::StatsServer`] — a one-thread `GET /metrics` Prometheus
+//!   endpoint so trainers and experiment binaries can be scraped mid-run.
 //!
 //! ## Configuration
 //!
@@ -35,15 +43,29 @@
 //! The first telemetry call auto-initialises from the environment;
 //! [`init`] / [`init_from_env`] make it explicit (and are idempotent).
 
+/// Run manifests: provenance capture for experiment binaries.
 pub mod manifest;
+/// Counters, gauges (level/peak), histograms, snapshots, and merge.
 pub mod metrics;
+/// Prometheus text exposition and log-linear auto-bucketing.
+pub mod prom;
+/// Log/event sinks: human-readable stderr and machine-readable JSONL.
 pub mod sink;
+/// Hierarchical wall-clock span timing (the aggregate profiler).
 pub mod span;
+/// Lightweight Prometheus stats endpoint for trainer-side processes.
+pub mod stats;
+/// Request-scoped distributed tracing with `PPN_TRACE_SAMPLE` sampling.
+pub mod trace;
 
 pub use manifest::RunManifest;
-pub use metrics::{counter, gauge, histogram, metrics_snapshot, MetricsSnapshot};
+pub use metrics::{
+    auto_histogram, counter, gauge, gauge_peak, histogram, metrics_snapshot, MetricsSnapshot,
+};
 pub use sink::{emit_event, emit_log, FieldValue};
 pub use span::{span_report, span_stats, SpanGuard, SpanStat};
+pub use stats::StatsServer;
+pub use trace::{TraceContext, TraceSpan};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::OnceLock;

@@ -1,11 +1,20 @@
-//! Process-wide metrics registry: counters, gauges, fixed-bucket
-//! histograms.
+//! Process-wide metrics registry: counters, gauges (level or peak mode),
+//! and fixed-bucket histograms with optional log-linear auto-bucketing.
 //!
 //! Handles are cheap `Arc` clones; hot-path operations (`inc`, `observe`)
 //! are single atomic ops and never take the registry lock. Snapshots are
-//! serializable (JSONL-able) and mergeable — merge is commutative and
-//! associative (counters/histograms add, gauges take the max), so shard
-//! snapshots can be combined in any order.
+//! serializable (JSONL-able), deterministically ordered (sorted by metric
+//! name), and mergeable — merge is commutative and associative, so shard
+//! snapshots can be combined in any order:
+//!
+//! * counters add;
+//! * **level** gauges add (the total level across shards — e.g. summed
+//!   queue depth), **peak** gauges take the max;
+//! * histograms with identical bounds add element-wise; histograms with
+//!   mismatched bounds are re-bucketed onto the **intersection** of their
+//!   bound sets (exact, since every original bucket nests inside an
+//!   intersection bucket; disjoint bound sets collapse to a single `+Inf`
+//!   bucket). `sum` and `count` are always preserved exactly.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -46,28 +55,73 @@ impl Counter {
     }
 }
 
-/// Last-written floating-point level (stored as `f64` bits).
+/// How a gauge aggregates: a last-written level, or a monotone peak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeMode {
+    /// `set` overwrites; snapshots report the last-written level and merge
+    /// by **sum** (the combined level across shards).
+    Level,
+    /// `set` only raises; snapshots report the high-water mark and merge
+    /// by **max**.
+    Peak,
+}
+
+/// Floating-point gauge (stored as `f64` bits). See [`GaugeMode`] for the
+/// level/peak semantics; [`gauge`] registers levels, [`gauge_peak`] peaks.
 #[derive(Clone)]
-pub struct Gauge(Arc<AtomicU64>);
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+    mode: GaugeMode,
+}
 
 impl Default for Gauge {
     fn default() -> Self {
-        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+        Gauge::with_mode(GaugeMode::Level)
     }
 }
 
 impl Gauge {
-    /// Overwrites the level.
+    fn with_mode(mode: GaugeMode) -> Self {
+        Gauge { bits: Arc::new(AtomicU64::new(0f64.to_bits())), mode }
+    }
+
+    /// Records `v`: overwrites the level, or raises the peak (a peak gauge
+    /// ignores values below its current high-water mark).
     #[inline]
     pub fn set(&self, v: f64) {
-        if crate::metrics_enabled() {
-            self.0.store(v.to_bits(), Ordering::Relaxed);
+        if !crate::metrics_enabled() {
+            return;
+        }
+        match self.mode {
+            GaugeMode::Level => self.bits.store(v.to_bits(), Ordering::Relaxed),
+            GaugeMode::Peak => {
+                let mut cur = self.bits.load(Ordering::Relaxed);
+                loop {
+                    if v.total_cmp(&f64::from_bits(cur)) != std::cmp::Ordering::Greater {
+                        break;
+                    }
+                    match self.bits.compare_exchange_weak(
+                        cur,
+                        v.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
         }
     }
 
-    /// Current level.
+    /// Current level (or high-water mark for peak gauges).
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// This gauge's aggregation mode.
+    pub fn mode(&self) -> GaugeMode {
+        self.mode
     }
 }
 
@@ -157,19 +211,36 @@ pub fn counter(name: &str) -> Counter {
     with_registry(|reg| {
         match reg.entry(name.to_string()).or_insert_with(|| Handle::Counter(Counter::default())) {
             Handle::Counter(c) => c.clone(),
+            // ppn-check: allow(no-panic) registering one name as two metric kinds is a programming error; failing fast beats silently splitting the metric
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     })
 }
 
-/// Registers (or fetches) the gauge `name`.
-pub fn gauge(name: &str) -> Gauge {
+fn gauge_with_mode(name: &str, mode: GaugeMode) -> Gauge {
     with_registry(|reg| {
-        match reg.entry(name.to_string()).or_insert_with(|| Handle::Gauge(Gauge::default())) {
-            Handle::Gauge(g) => g.clone(),
+        match reg.entry(name.to_string()).or_insert_with(|| Handle::Gauge(Gauge::with_mode(mode))) {
+            Handle::Gauge(g) if g.mode == mode => g.clone(),
+            Handle::Gauge(g) => {
+                // ppn-check: allow(no-panic) level/peak mix-ups on one name corrupt merge semantics; fail fast like a kind mismatch
+                panic!("gauge `{name}` already registered as {:?}, requested {mode:?}", g.mode)
+            }
+            // ppn-check: allow(no-panic) registering one name as two metric kinds is a programming error; failing fast beats silently splitting the metric
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     })
+}
+
+/// Registers (or fetches) the level gauge `name` (last-written value; shard
+/// merges sum).
+pub fn gauge(name: &str) -> Gauge {
+    gauge_with_mode(name, GaugeMode::Level)
+}
+
+/// Registers (or fetches) the peak gauge `name` (monotone high-water mark;
+/// shard merges take the max). Conventionally named `*_peak`.
+pub fn gauge_peak(name: &str) -> Gauge {
+    gauge_with_mode(name, GaugeMode::Peak)
 }
 
 /// Registers (or fetches) the histogram `name` with the given bucket
@@ -182,9 +253,18 @@ pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
             .or_insert_with(|| Handle::Histogram(Histogram::with_bounds(bounds)))
         {
             Handle::Histogram(h) => h.clone(),
+            // ppn-check: allow(no-panic) registering one name as two metric kinds is a programming error; failing fast beats silently splitting the metric
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     })
+}
+
+/// Registers (or fetches) the histogram `name` with log-linear
+/// auto-buckets (1 µs – 10 s, 3 per decade; see
+/// [`crate::prom::default_latency_bounds_ms`]) — for latency-style metrics
+/// in milliseconds that don't want hand-picked bounds.
+pub fn auto_histogram(name: &str) -> Histogram {
+    histogram(name, &crate::prom::default_latency_bounds_ms())
 }
 
 /// Clears the registry (between experiments / in tests).
@@ -206,8 +286,10 @@ pub struct CounterSnapshot {
 pub struct GaugeSnapshot {
     /// Metric name.
     pub name: String,
-    /// Gauge level.
+    /// Gauge level (or high-water mark when `peak`).
     pub value: f64,
+    /// True for peak-mode gauges (merge by max instead of sum).
+    pub peak: bool,
 }
 
 /// Serializable histogram state.
@@ -236,9 +318,35 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+/// Re-buckets `counts` (over `bounds` + implicit overflow) onto
+/// `new_bounds`, a subset of `bounds`. Exact: each original bucket nests
+/// inside exactly one target bucket.
+fn rebucket(bounds: &[f64], counts: &[u64], new_bounds: &[f64]) -> Vec<u64> {
+    let mut out = vec![0u64; new_bounds.len() + 1];
+    for (i, &c) in counts.iter().enumerate() {
+        let target = match bounds.get(i) {
+            // First new bound ≥ this bucket's upper bound; none → overflow.
+            Some(b) => new_bounds.partition_point(|nb| nb < b),
+            None => new_bounds.len(),
+        };
+        out[target] += c;
+    }
+    out
+}
+
+/// The sorted intersection of two strictly-increasing bound vectors,
+/// compared bitwise (bounds come from registration constants, so bitwise
+/// equality is the right identity).
+fn bounds_intersection(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let b_bits: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
+    a.iter().copied().filter(|x| b_bits.contains(&x.to_bits())).collect()
+}
+
 impl MetricsSnapshot {
-    /// Merges another snapshot into this one. Commutative and associative:
-    /// counters and histograms add; gauges keep the maximum.
+    /// Merges another snapshot into this one. Commutative and associative;
+    /// see the module docs for the per-kind rules (counters and level
+    /// gauges add, peak gauges max, histograms re-bucket onto the bound
+    /// intersection when bounds mismatch).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for c in &other.counters {
             match self.counters.iter_mut().find(|m| m.name == c.name) {
@@ -248,16 +356,35 @@ impl MetricsSnapshot {
         }
         for g in &other.gauges {
             match self.gauges.iter_mut().find(|m| m.name == g.name) {
-                Some(m) => m.value = m.value.max(g.value),
+                Some(m) => {
+                    // Mixed-mode merges (a level meeting a peak under one
+                    // name) conservatively become a peak.
+                    if m.peak || g.peak {
+                        m.value = m.value.max(g.value);
+                        m.peak = true;
+                    } else {
+                        m.value += g.value;
+                    }
+                }
                 None => self.gauges.push(g.clone()),
             }
         }
         for h in &other.histograms {
             match self.histograms.iter_mut().find(|m| m.name == h.name) {
                 Some(m) => {
-                    assert_eq!(m.bounds, h.bounds, "merging histograms with different buckets");
-                    for (a, b) in m.counts.iter_mut().zip(&h.counts) {
-                        *a += b;
+                    if m.bounds == h.bounds {
+                        for (a, b) in m.counts.iter_mut().zip(&h.counts) {
+                            *a += b;
+                        }
+                    } else {
+                        let merged = bounds_intersection(&m.bounds, &h.bounds);
+                        let mut counts = rebucket(&m.bounds, &m.counts, &merged);
+                        for (a, b) in counts.iter_mut().zip(rebucket(&h.bounds, &h.counts, &merged))
+                        {
+                            *a += b;
+                        }
+                        m.bounds = merged;
+                        m.counts = counts;
                     }
                     m.sum += h.sum;
                     m.count += h.count;
@@ -268,14 +395,25 @@ impl MetricsSnapshot {
         self.sort();
     }
 
-    fn sort(&mut self) {
+    /// Sorts counters, gauges, and histograms by metric name, making the
+    /// serialized form byte-stable. [`metrics_snapshot`] and
+    /// [`MetricsSnapshot::merge`] call this; hand-built snapshots should
+    /// too before serialization.
+    pub fn sort(&mut self) {
         self.counters.sort_by(|a, b| a.name.cmp(&b.name));
         self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
         self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
     }
+
+    /// Renders this snapshot in Prometheus text exposition format (see
+    /// [`crate::prom::render`]).
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
 }
 
-/// Snapshots every registered metric.
+/// Snapshots every registered metric, sorted by name (byte-stable across
+/// runs that register the same metrics).
 pub fn metrics_snapshot() -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::default();
     with_registry(|reg| {
@@ -284,9 +422,11 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
                 Handle::Counter(c) => {
                     snap.counters.push(CounterSnapshot { name: name.clone(), value: c.get() })
                 }
-                Handle::Gauge(g) => {
-                    snap.gauges.push(GaugeSnapshot { name: name.clone(), value: g.get() })
-                }
+                Handle::Gauge(g) => snap.gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                    peak: g.mode() == GaugeMode::Peak,
+                }),
                 Handle::Histogram(hist) => snap.histograms.push(HistogramSnapshot {
                     name: name.clone(),
                     bounds: hist.bounds().to_vec(),

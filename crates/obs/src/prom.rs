@@ -1,0 +1,174 @@
+//! Prometheus text-format exposition (version 0.0.4) for
+//! [`MetricsSnapshot`], plus log-linear auto-bucketing helpers.
+//!
+//! Format guarantees:
+//!
+//! * every metric gets a `# TYPE` line (`counter` / `gauge` / `histogram`);
+//! * metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
+//!   underscores: `serve.latency_ms` → `serve_latency_ms`);
+//! * histogram buckets are **cumulative** with inclusive upper bounds,
+//!   always end with `le="+Inf"`, and ship `_sum` and `_count` series where
+//!   the `+Inf` bucket equals `_count`;
+//! * output is byte-stable for a given snapshot: metrics render sorted by
+//!   name within each kind (counters, then gauges, then histograms).
+//!
+//! The exposition content type is [`CONTENT_TYPE`].
+
+use crate::metrics::MetricsSnapshot;
+
+/// The HTTP `Content-Type` for Prometheus text exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a registry metric name onto the Prometheus name charset: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gets
+/// an underscore prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats an `f64` the way Prometheus expects sample values and `le`
+/// bounds (`1`, `0.05`, `+Inf`, `NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() };
+    }
+    format!("{v}")
+}
+
+/// Renders a snapshot as Prometheus text exposition. See the module docs
+/// for the format guarantees.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut snap = snapshot.clone();
+    snap.sort();
+    let mut out = String::new();
+    for c in &snap.counters {
+        let name = sanitize_name(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+    }
+    for g in &snap.gauges {
+        let name = sanitize_name(&g.name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(g.value)));
+    }
+    for h in &snap.histograms {
+        let name = sanitize_name(&h.name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            let le = match h.bounds.get(i) {
+                Some(b) => fmt_f64(*b),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        // A histogram snapshot always carries bounds.len()+1 counts, but
+        // render defensively: the +Inf bucket must exist even for a
+        // hand-built snapshot with no overflow entry.
+        if h.counts.len() <= h.bounds.len() {
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+/// Strictly increasing log-linear bucket bounds covering `[lo, hi]` with
+/// `per_decade` bounds per factor of ten — the auto-bucketing used when a
+/// histogram has no hand-picked bounds. `lo` must be positive and finite,
+/// `hi > lo`, `per_decade ≥ 1`; degenerate inputs fall back to a single
+/// `[lo]` bound rather than panicking.
+pub fn log_linear_bounds(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    if !lo.is_finite() || lo <= 0.0 || !hi.is_finite() || hi <= lo || per_decade == 0 {
+        return vec![if lo.is_finite() && lo > 0.0 { lo } else { 1.0 }];
+    }
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut bounds = Vec::new();
+    let mut b = lo;
+    let mut k = 0u32;
+    while b < hi * (1.0 + 1e-12) {
+        bounds.push(b);
+        k += 1;
+        b = lo * step.powi(k as i32);
+        if bounds.len() > 512 {
+            break; // hard cap against pathological ranges
+        }
+    }
+    // Float powers are strictly increasing here, but de-duplicate
+    // defensively so Histogram's strictly-increasing invariant holds.
+    bounds.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+    bounds
+}
+
+/// The default auto-bucket bounds for latency-style histograms measured in
+/// milliseconds: log-linear from 1 µs to 10 s, 3 buckets per decade
+/// (≈ 1 / 2.2 / 4.6 spacing), 22 bounds total.
+pub fn default_latency_bounds_ms() -> Vec<f64> {
+    log_linear_bounds(1e-3, 1e4, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+
+    #[test]
+    fn sanitize_maps_onto_the_prometheus_charset() {
+        assert_eq!(sanitize_name("serve.latency_ms"), "serve_latency_ms");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_with_inf_sum_count() {
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSnapshot { name: "s.req".into(), value: 7 }],
+            gauges: vec![GaugeSnapshot { name: "s.depth".into(), value: 2.5, peak: false }],
+            histograms: vec![HistogramSnapshot {
+                name: "s.lat".into(),
+                bounds: vec![1.0, 5.0],
+                counts: vec![2, 3, 1],
+                sum: 11.5,
+                count: 6,
+            }],
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE s_req counter\ns_req 7\n"));
+        assert!(text.contains("# TYPE s_depth gauge\ns_depth 2.5\n"));
+        assert!(text.contains("# TYPE s_lat histogram\n"));
+        assert!(text.contains("s_lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("s_lat_bucket{le=\"5\"} 5\n"), "buckets must be cumulative");
+        assert!(text.contains("s_lat_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("s_lat_sum 11.5\n"));
+        assert!(text.contains("s_lat_count 6\n"));
+    }
+
+    #[test]
+    fn log_linear_bounds_are_strictly_increasing_and_cover_the_range() {
+        let b = log_linear_bounds(1e-3, 1e4, 3);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b[0] <= 1e-3 * (1.0 + 1e-9));
+        assert!(*b.last().expect("non-empty") >= 1e4 * (1.0 - 1e-9));
+        assert_eq!(b.len(), 22);
+        // Degenerate inputs fall back instead of panicking.
+        assert_eq!(log_linear_bounds(0.0, 1.0, 3), vec![1.0]);
+        assert_eq!(log_linear_bounds(2.0, 1.0, 3), vec![2.0]);
+        assert_eq!(log_linear_bounds(1.0, 2.0, 0), vec![1.0]);
+    }
+}

@@ -97,6 +97,15 @@ fn uptime_secs() -> f64 {
     PROCESS_START.get_or_init(Instant::now).elapsed().as_secs_f64()
 }
 
+/// Nanoseconds between the process-start reference instant and `t` (0 for
+/// instants captured before the reference was initialised). Trace events
+/// use this as their `start_ns` timebase so spans from one process share a
+/// common clock.
+pub fn instant_offset_ns(t: Instant) -> u64 {
+    let start = *PROCESS_START.get_or_init(Instant::now);
+    t.checked_duration_since(start).map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
 /// Milliseconds since the Unix epoch (0 if the clock is broken).
 pub fn unix_ms() -> u64 {
     SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)

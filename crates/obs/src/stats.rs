@@ -1,0 +1,153 @@
+//! Lightweight Prometheus stats endpoint for non-server processes.
+//!
+//! [`StatsServer::start`] binds a TCP listener and serves the current
+//! [`crate::metrics_snapshot`] as Prometheus text exposition from a single
+//! background thread — so a *trainer* or experiment binary can be scraped
+//! mid-run without pulling in the full `ppn-serve` stack. The experiment
+//! harness starts one automatically when `PPN_STATS_ADDR` is set (e.g.
+//! `PPN_STATS_ADDR=127.0.0.1:9184 cargo run --bin table3_profitability`).
+//!
+//! Routes: `GET /metrics` (and `/`) → Prometheus text; anything else → 404.
+//! One request per connection, `Connection: close` — mirroring the minimal
+//! HTTP framing used by `ppn-serve`.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Largest request head the stats endpoint will read before giving up.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// A running stats endpoint; dropping the handle shuts it down.
+pub struct StatsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatsServer {
+    /// Binds `addr` (port `0` picks an ephemeral port) and spawns the
+    /// single serving thread.
+    pub fn start(addr: &str) -> io::Result<StatsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(mut stream) = stream {
+                        serve_one(&mut stream);
+                    }
+                }
+            })
+        };
+        crate::obs_info!("stats: Prometheus endpoint listening on {addr}");
+        Ok(StatsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound socket address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Reads the request line and answers one request; transport errors are
+/// swallowed (the scraper will just retry).
+fn serve_one(stream: &mut TcpStream) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the blank line ending the head (we only need line one).
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_HEAD {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let (status, reason, content_type, body) = match (method, path) {
+        ("GET", "/metrics") | ("GET", "/") => {
+            let body = crate::prom::render(&crate::metrics_snapshot());
+            (200u16, "OK", crate::prom::CONTENT_TYPE, body)
+        }
+        _ => (404, "Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+        stream.write_all(req.as_bytes()).expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        let status: u16 =
+            raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_404s_elsewhere() {
+        crate::init(crate::ObsConfig {
+            stderr_level: None,
+            jsonl_level: None,
+            jsonl_path: None,
+            spans: true,
+            metrics: true,
+        });
+        crate::counter("stats.test_counter").add(3);
+        let server = StatsServer::start("127.0.0.1:0").expect("stats server starts");
+        let addr = server.addr();
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE stats_test_counter counter"), "{body}");
+        assert!(body.contains("stats_test_counter 3"), "{body}");
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+}

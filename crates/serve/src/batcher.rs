@@ -13,6 +13,7 @@ use crate::queue::QueuedRequest;
 use crate::registry::ModelRegistry;
 use crate::{validate_request, DecideResponse, ServeError};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Executes one drained batch.
 ///
@@ -24,6 +25,10 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
     if jobs.is_empty() {
         return;
     }
+    // Stage boundary shared by every job in this drain: time spent before
+    // this point is queue wait, time until the batch tensors are built is
+    // assembly. Sampled jobs report these as child spans of their request.
+    let drained_at = Instant::now();
     let mut groups: BTreeMap<String, Vec<QueuedRequest>> = BTreeMap::new();
     for job in jobs {
         groups.entry(job.request.model.clone()).or_default().push(job);
@@ -55,10 +60,17 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
         let prevs: Vec<Vec<f64>> = valid.iter().map(|j| j.request.prev_action.clone()).collect();
         let batch_size = valid.len();
         batch_hist.observe(batch_size as f64);
+        let assembled_at = Instant::now();
         let outputs = {
             let _span = ppn_obs::span!("serve.forward");
             net.act_batch(&windows, &prevs)
         };
+        let forwarded_at = Instant::now();
+        for job in &valid {
+            job.trace.emit_span("serve.queue_wait", job.enqueued_at, drained_at);
+            job.trace.emit_span("serve.batch_assemble", drained_at, assembled_at);
+            job.trace.emit_span("serve.forward", assembled_at, forwarded_at);
+        }
         for (job, weights) in valid.into_iter().zip(outputs) {
             let _ =
                 job.reply.send(Ok(DecideResponse { model: model.clone(), weights, batch_size }));

@@ -96,8 +96,19 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes a complete JSON response and flushes the stream.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// Writes a complete response with an explicit `Content-Type` (the
+/// Prometheus `/metrics` exposition is text, not JSON) and flushes.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         body.len()
     );

@@ -28,10 +28,17 @@
 //!
 //! Models come from [`ppn_core::persist`] checkpoints via the
 //! [`registry::ModelRegistry`]; telemetry (request counter, queue-depth
-//! gauge, `serve.latency_ms` / `serve.batch_size` histograms) flows through
+//! gauges, `serve.latency_ms` / `serve.batch_size` histograms) flows through
 //! `ppn-obs`. The HTTP layer speaks minimal HTTP/1.1 over
 //! `std::net::TcpListener` — the workspace is offline, so no external
 //! server stack is used.
+//!
+//! When request tracing is sampled in (`PPN_TRACE_SAMPLE=1/N`), each
+//! `/decide` request carries a `ppn_obs::TraceContext` from its
+//! `serve.request` root span through the queue and the batcher, which emits
+//! `serve.queue_wait` / `serve.batch_assemble` / `serve.forward` /
+//! `serve.respond` stage spans to the JSONL sink — render them with the
+//! `ppn-trace` profiler.
 //!
 //! ## Endpoints
 //!
@@ -39,7 +46,8 @@
 //! |---|---|---|---|
 //! | `/decide` | POST | [`DecideRequest`] JSON | [`DecideResponse`] JSON |
 //! | `/health` | GET | — | `{"status":"ok","models":[…]}` |
-//! | `/metrics` | GET | — | `ppn_obs::MetricsSnapshot` JSON |
+//! | `/metrics` | GET | — | Prometheus text exposition (v0.0.4) |
+//! | `/metrics.json` | GET | — | `ppn_obs::MetricsSnapshot` JSON |
 
 /// Micro-batch execution over drained request groups.
 pub mod batcher;
@@ -164,9 +172,6 @@ pub fn error_json(msg: &str) -> String {
 /// The server's `ppn-obs` instruments, shared by the handler threads, the
 /// batcher, and `serve_probe` (handles are process-global by name).
 pub mod metrics {
-    /// Latency histogram bounds in milliseconds.
-    pub const LATENCY_BOUNDS_MS: [f64; 14] =
-        [0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
     /// Batch-size histogram bounds.
     pub const BATCH_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
@@ -180,14 +185,20 @@ pub mod metrics {
         ppn_obs::counter("serve.errors")
     }
 
-    /// Current decision-queue depth.
+    /// Current decision-queue depth (level gauge: last-written value).
     pub fn queue_depth() -> ppn_obs::metrics::Gauge {
         ppn_obs::gauge("serve.queue_depth")
     }
 
-    /// End-to-end `/decide` latency (enqueue → reply), milliseconds.
+    /// High-water decision-queue depth since process start (peak gauge).
+    pub fn queue_depth_peak() -> ppn_obs::metrics::Gauge {
+        ppn_obs::gauge_peak("serve.queue_depth_peak")
+    }
+
+    /// End-to-end `/decide` latency (enqueue → reply), milliseconds, on the
+    /// shared log-linear latency buckets (1µs–10s, 3 per decade).
     pub fn latency_ms() -> ppn_obs::metrics::Histogram {
-        ppn_obs::histogram("serve.latency_ms", &LATENCY_BOUNDS_MS)
+        ppn_obs::auto_histogram("serve.latency_ms")
     }
 
     /// Forward-pass batch sizes assembled by the batcher.

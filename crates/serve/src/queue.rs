@@ -1,9 +1,11 @@
 //! The decision queue: connection handlers push parsed requests with a
 //! reply channel; the batcher drains up to `max_batch` of them at a time.
-//! Depth is mirrored into the `serve.queue_depth` gauge on every mutation.
+//! Depth is mirrored into the `serve.queue_depth` level gauge on every
+//! mutation, and its high-water mark into `serve.queue_depth_peak`.
 
 use crate::{DecideRequest, DecideResponse, ServeError};
 use parking_lot::Mutex;
+use ppn_obs::TraceContext;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::time::Instant;
@@ -19,18 +21,28 @@ pub struct QueuedRequest {
     pub reply: ReplySender,
     /// When the request entered the queue.
     pub enqueued_at: Instant,
+    /// Trace coordinates of the request's root span; the batcher attaches
+    /// the `serve.queue_wait` / `serve.batch_assemble` / `serve.forward`
+    /// stage spans here. Inert when the request is unsampled.
+    pub trace: TraceContext,
 }
 
 /// Lock-protected FIFO between the connection handlers and the batcher.
 pub struct RequestQueue {
     jobs: Mutex<VecDeque<QueuedRequest>>,
     depth: ppn_obs::metrics::Gauge,
+    depth_peak: ppn_obs::metrics::Gauge,
 }
 
 impl RequestQueue {
-    /// Empty queue; registers the `serve.queue_depth` gauge.
+    /// Empty queue; registers the `serve.queue_depth` level gauge and the
+    /// `serve.queue_depth_peak` high-water gauge.
     pub fn new() -> Self {
-        RequestQueue { jobs: Mutex::new(VecDeque::new()), depth: crate::metrics::queue_depth() }
+        RequestQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            depth: crate::metrics::queue_depth(),
+            depth_peak: crate::metrics::queue_depth_peak(),
+        }
     }
 
     /// Appends a request.
@@ -38,6 +50,7 @@ impl RequestQueue {
         let mut q = self.jobs.lock();
         q.push_back(job);
         self.depth.set(q.len() as f64);
+        self.depth_peak.set(q.len() as f64);
     }
 
     /// Removes and returns up to `max` requests from the front.

@@ -7,10 +7,11 @@
 //! keeps governing compute parallelism.
 
 use crate::batcher::process_batch;
-use crate::http::{read_request, write_response, HttpRequest};
+use crate::http::{read_request, write_response, write_response_typed, HttpRequest};
 use crate::queue::{QueuedRequest, RequestQueue};
 use crate::registry::ModelRegistry;
 use crate::{error_json, metrics, DecideRequest};
+use ppn_obs::TraceSpan;
 use serde::Serialize;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -77,6 +78,7 @@ impl Server {
         metrics::errors();
         metrics::latency_ms();
         metrics::batch_size();
+        metrics::queue_depth_peak();
 
         let batcher = {
             let registry = Arc::clone(&registry);
@@ -199,7 +201,11 @@ fn handle_connection(
             s.end_obj();
             let _ = write_response(&mut stream, 200, &s.finish());
         }
-        ("GET", "/metrics") => match serde_json::to_string(&ppn_obs::metrics_snapshot()) {
+        ("GET", "/metrics") => {
+            let body = ppn_obs::metrics_snapshot().to_prometheus();
+            let _ = write_response_typed(&mut stream, 200, ppn_obs::prom::CONTENT_TYPE, &body);
+        }
+        ("GET", "/metrics.json") => match serde_json::to_string(&ppn_obs::metrics_snapshot()) {
             Ok(body) => {
                 let _ = write_response(&mut stream, 200, &body);
             }
@@ -209,7 +215,7 @@ fn handle_connection(
                     write_response(&mut stream, 500, &error_json(&format!("snapshot failed: {e}")));
             }
         },
-        (m, "/decide" | "/health" | "/metrics") => {
+        (m, "/decide" | "/health" | "/metrics" | "/metrics.json") => {
             metrics::errors().inc();
             let _ = write_response(
                 &mut stream,
@@ -239,10 +245,18 @@ fn handle_decide(
             return;
         }
     };
+    // Root span for the request's whole server-side lifetime. Inert unless
+    // this request is picked by `PPN_TRACE_SAMPLE` every-Nth sampling; the
+    // context rides through the queue so the batcher can attach the
+    // queue-wait / assemble / forward stage spans to the same trace.
+    let root = TraceSpan::root("serve.request");
+    let trace = root.context();
     let started = Instant::now();
     let (tx, rx) = mpsc::channel();
-    queue.push(QueuedRequest { request: parsed, reply: tx, enqueued_at: started });
-    match rx.recv_timeout(timeout) {
+    queue.push(QueuedRequest { request: parsed, reply: tx, enqueued_at: started, trace });
+    let outcome = rx.recv_timeout(timeout);
+    let _respond = trace.child("serve.respond");
+    match outcome {
         Ok(Ok(resp)) => {
             metrics::latency_ms().observe(started.elapsed().as_secs_f64() * 1e3);
             match serde_json::to_string(&resp) {

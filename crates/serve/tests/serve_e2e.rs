@@ -100,10 +100,29 @@ fn health_and_metrics_endpoints_respond() {
     }
     assert!(body.contains("\"model\""), "health must list registered models: {body}");
 
+    // /metrics speaks Prometheus text exposition (sanitized metric names,
+    // TYPE comments, cumulative buckets ending in +Inf).
     let (status, body) = http_request(addr, "GET", "/metrics", "").unwrap();
     assert_eq!(status, 200);
-    assert!(body.contains("serve.latency_ms"), "metrics must expose serve.latency_ms: {body}");
-    assert!(body.contains("serve.batch_size"), "metrics must expose serve.batch_size: {body}");
+    assert!(
+        body.contains("# TYPE serve_latency_ms histogram"),
+        "metrics must expose serve_latency_ms as a histogram: {body}"
+    );
+    assert!(
+        body.contains("serve_batch_size_bucket{le=\"+Inf\"}"),
+        "histograms must end in a +Inf bucket: {body}"
+    );
+    assert!(body.contains("serve_latency_ms_count"), "histogram count line: {body}");
+    assert!(body.contains("# TYPE serve_requests counter"), "counter TYPE line: {body}");
+    assert!(body.contains("# TYPE serve_queue_depth gauge"), "gauge TYPE line: {body}");
+
+    // The JSON snapshot stays available at /metrics.json for tooling that
+    // wants the raw structure.
+    let (status, body) = http_request(addr, "GET", "/metrics.json", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("serve.latency_ms"), "JSON keeps dotted names: {body}");
+    assert!(Value::parse(&body).is_ok(), "metrics.json must parse as JSON: {body}");
+
     // The histogram must be non-empty after a successful decide.
     assert!(ppn_serve::metrics::latency_ms().count() > 0);
     assert!(ppn_serve::metrics::batch_size().count() > 0);
@@ -172,6 +191,7 @@ fn process_batch_coalesces_jobs_into_one_forward_pass() {
             request: DecideRequest { model: "m".to_string(), window, prev_action },
             reply: tx,
             enqueued_at: Instant::now(),
+            trace: ppn_obs::TraceContext::inert(),
         });
         receivers.push(rx);
     }

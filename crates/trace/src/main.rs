@@ -1,0 +1,73 @@
+//! `ppn-trace` — render ppn-obs trace JSONL as a flamegraph, a latency
+//! breakdown, a waterfall, or a trace listing.
+//!
+//! ```text
+//! ppn-trace flame      FILE...              # collapsed stacks (self-time ns)
+//! ppn-trace breakdown  FILE...              # per-span p50/p95/p99 table
+//! ppn-trace waterfall  FILE... [--trace ID] # one trace's span tree
+//! ppn-trace traces     FILE...              # list trace ids
+//! ```
+//!
+//! `--trace` accepts a full 16-hex trace id or any unique prefix; without
+//! it the waterfall shows the trace with the longest span.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ppn-trace <flame|breakdown|waterfall|traces> FILE... [--trace ID]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((mode, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut files: Vec<&str> = Vec::new();
+    let mut trace_id: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            match it.next() {
+                Some(id) => trace_id = Some(id.clone()),
+                None => {
+                    eprintln!("--trace needs an id\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(arg);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut events = Vec::new();
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => events.extend(ppn_trace::parse_events(&text)),
+            Err(e) => {
+                eprintln!("ppn-trace: {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if events.is_empty() {
+        eprintln!("ppn-trace: no trace.span events found (is PPN_TRACE_SAMPLE set?)");
+        return ExitCode::from(1);
+    }
+
+    let out = match mode.as_str() {
+        "flame" => ppn_trace::flamegraph(&events),
+        "breakdown" => ppn_trace::breakdown(&events),
+        "waterfall" => ppn_trace::waterfall(&events, trace_id.as_deref()),
+        "traces" => ppn_trace::traces(&events),
+        other => {
+            eprintln!("unknown mode '{other}'\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{out}");
+    ExitCode::SUCCESS
+}
