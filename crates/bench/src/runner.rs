@@ -535,7 +535,6 @@ mod tests {
         t.row(vec!["1".into(), "2".into()]);
         let dir = std::env::temp_dir().join("ppn_tw_test");
         std::fs::create_dir_all(&dir).unwrap();
-        std::env::set_var("PPN_TW_UNUSED", "1");
         let out = {
             let cwd = std::env::current_dir().unwrap();
             std::env::set_current_dir(&dir).unwrap();

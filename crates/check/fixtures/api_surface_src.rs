@@ -1,0 +1,21 @@
+//! Fixture: a small crate surface for the api-surface golden workflow —
+//! top-level items, a method behind an impl, a pub field, and private
+//! items that must stay out of the snapshot.
+
+pub struct Pool {
+    pub workers: usize,
+    queue: Vec<u32>,
+}
+
+impl Pool {
+    pub fn submit(&self) {}
+    fn rebalance(&self) {}
+}
+
+pub fn spawn() -> Pool {
+    Pool { workers: 1, queue: Vec::new() }
+}
+
+pub const MAX: usize = 64;
+
+pub(crate) fn internal() {}

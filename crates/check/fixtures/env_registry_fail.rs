@@ -1,0 +1,10 @@
+//! Fixture: one declared access (fine) and one undeclared `PPN_*` access
+//! (flagged) — the manifest used by the test declares only PPN_THREADS.
+
+pub fn threads() -> usize {
+    std::env::var("PPN_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+pub fn mystery() -> bool {
+    std::env::var("PPN_UNDECLARED").is_ok()
+}

@@ -1,0 +1,11 @@
+//! Fixture: every `PPN_*` access matches the manifest, and mentioning a
+//! variable name outside an env call (a doc string, a log line) is not an
+//! access.
+
+pub fn threads() -> usize {
+    std::env::var("PPN_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+pub fn banner() -> String {
+    format!("pool size comes from PPN_THREADS ({})", threads())
+}

@@ -1,0 +1,21 @@
+//! Fixture: a real AB/BA deadlock. `ab` nests JOBS → STATS while `ba`
+//! nests STATS → JOBS; under contention each thread can hold its first
+//! lock and block forever on the other. The lock-order pass must report
+//! the cycle with both acquisition sites.
+
+static JOBS: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+static STATS: Mutex<u32> = Mutex::new(0);
+
+pub fn ab() {
+    let jobs = JOBS.lock();
+    let mut stats = STATS.lock();
+    *stats += jobs.len() as u32;
+    drop((jobs, stats));
+}
+
+pub fn ba() {
+    let stats = STATS.lock();
+    let mut jobs = JOBS.lock();
+    jobs.push(*stats);
+    drop((stats, jobs));
+}

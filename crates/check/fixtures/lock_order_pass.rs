@@ -1,0 +1,29 @@
+//! Fixture: the same two locks, always acquired in the same global order
+//! (JOBS before STATS), with scoped and explicit releases in between — a
+//! cycle-free lock-order graph.
+
+static JOBS: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+static STATS: Mutex<u32> = Mutex::new(0);
+
+pub fn ab() {
+    let jobs = JOBS.lock();
+    let mut stats = STATS.lock();
+    *stats += jobs.len() as u32;
+    drop((jobs, stats));
+}
+
+pub fn sequential() {
+    {
+        let stats = STATS.lock();
+        drop(stats);
+    }
+    let jobs = JOBS.lock();
+    drop(jobs);
+}
+
+pub fn released_before_next() {
+    let stats = STATS.lock();
+    drop(stats);
+    let jobs = JOBS.lock();
+    drop(jobs);
+}

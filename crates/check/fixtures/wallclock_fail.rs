@@ -1,0 +1,9 @@
+//! Fixture: direct clock reads in a numerical crate — both patterns must
+//! be flagged outside obs/trace/bench.
+
+pub fn timed_step() -> f64 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    drop(wall);
+    t0.elapsed().as_secs_f64()
+}

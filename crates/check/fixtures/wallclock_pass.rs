@@ -1,0 +1,21 @@
+//! Fixture: clock *types* and differencing are fine anywhere; reads route
+//! through the `ppn_obs::clock` chokepoint; test code is exempt.
+
+use std::time::Instant;
+
+pub struct Stamped {
+    pub at: Instant,
+}
+
+pub fn timed_step() -> f64 {
+    let t0 = ppn_obs::clock::now();
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -34,12 +34,24 @@
 //! `proptest`, `criterion`, `parking_lot`) keep their upstream names in
 //! their manifests and are exempted via that manifest allowlist, not by
 //! path, so moving or adding shims never silently widens the lint surface.
+//!
+//! ## Rule kinds
+//!
+//! Two kinds of rules run on every pass. *File rules*
+//! ([`rules::registry`]) see one [`SourceFile`] at a time. *Workspace
+//! rules* ([`workspace::registry`]) see the whole [`Workspace`] — every
+//! scanned file plus the checked-in side artifacts (`env_manifest.toml`,
+//! `README.md`, `results/api_surface.txt`) — which is what makes
+//! cross-file properties like lock-order cycles checkable. Allow-comments
+//! apply identically to both kinds when a finding lands on a source line.
 
 pub mod rules;
 pub mod scanner;
+pub mod workspace;
 
 pub use rules::{Diagnostic, Rule};
 pub use scanner::{Role, SourceFile};
+pub use workspace::{Workspace, WorkspaceRule};
 
 use std::path::{Path, PathBuf};
 
@@ -138,6 +150,37 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Which engine a rule runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Per-file rule: `fn(&SourceFile) -> Vec<Diagnostic>`.
+    File,
+    /// Workspace rule: `fn(&Workspace) -> Vec<Diagnostic>`.
+    Workspace,
+}
+
+impl RuleKind {
+    /// Lowercase label used in `--all` timing lines and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleKind::File => "file",
+            RuleKind::Workspace => "workspace",
+        }
+    }
+}
+
+/// Wall-time spent in one rule across the whole run.
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    /// Rule identifier.
+    pub id: &'static str,
+    /// File or workspace rule.
+    pub kind: RuleKind,
+    /// Microseconds spent in the rule's checker (all files summed for file
+    /// rules; one invocation for workspace rules).
+    pub micros: u128,
+}
+
 /// Outcome of a workspace run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -147,6 +190,8 @@ pub struct Report {
     pub files: usize,
     /// Number of crates skipped as vendored shims.
     pub shims_skipped: usize,
+    /// Per-rule wall time, in registry order (file rules, then workspace).
+    pub timings: Vec<RuleTiming>,
 }
 
 impl Report {
@@ -154,15 +199,77 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
+
+    /// Machine-readable rendering for `--json` and the CI artifact. Built
+    /// by hand (no serde): the shape is small, flat, and fully escaped.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files\": {},\n", self.files));
+        out.push_str(&format!("  \"shims_skipped\": {},\n", self.shims_skipped));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"timings\": [");
+        for (i, t) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"id\": \"{}\", \"kind\": \"{}\", \"micros\": {}}}",
+                t.id,
+                t.kind.label(),
+                t.micros
+            ));
+        }
+        out.push_str(if self.timings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&d.path),
+                d.line,
+                d.rule,
+                json_escape(&d.message)
+            ));
+        }
+        out.push_str(if self.diagnostics.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push('}');
+        out
+    }
 }
 
-/// Lints one already-scanned file: runs every rule, then applies
-/// allow-comments (same line or the line directly above), emitting
-/// `allow-syntax` diagnostics for malformed or reason-less allows.
-pub fn lint_file(file: &SourceFile) -> Vec<Diagnostic> {
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Every rule id an allow-comment may legally name: the file rules plus the
+/// workspace rules.
+pub fn known_rules() -> Vec<&'static str> {
+    rules::registry()
+        .iter()
+        .map(|r| r.id)
+        .chain(workspace::registry().iter().map(|r| r.id))
+        .collect()
+}
+
+/// Emits `allow-syntax` diagnostics for malformed allow-comments in one
+/// file: unknown rule ids and missing justifications.
+fn allow_syntax_diags(file: &SourceFile, known: &[&'static str]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    // Malformed allow-comments are findings in their own right.
-    let known: Vec<&'static str> = rules::registry().iter().map(|r| r.id).collect();
     for (i, line) in file.lines.iter().enumerate() {
         if let Some((rule, reason)) = parse_allow(&line.comment) {
             if !known.contains(&rule.as_str()) {
@@ -182,6 +289,16 @@ pub fn lint_file(file: &SourceFile) -> Vec<Diagnostic> {
             }
         }
     }
+    out
+}
+
+/// Lints one already-scanned file: runs every file rule, then applies
+/// allow-comments (same line or the line directly above), emitting
+/// `allow-syntax` diagnostics for malformed or reason-less allows.
+/// Workspace rules do not run here — use [`run`] for the full pass.
+pub fn lint_file(file: &SourceFile) -> Vec<Diagnostic> {
+    // Malformed allow-comments are findings in their own right.
+    let mut out = allow_syntax_diags(file, &known_rules());
     for d in rules::check_file(file) {
         if !is_allowed(file, &d) {
             out.push(d);
@@ -219,25 +336,76 @@ fn parse_allow(comment: &str) -> Option<(String, String)> {
     Some((rule, reason))
 }
 
-/// Scans and lints the whole workspace rooted at `root`.
-pub fn run(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
-    let crates = discover(root)?;
-    let mut scanned = Vec::new();
-    for info in &crates {
+/// Scans the workspace at `root` into a [`Workspace`]: every first-party
+/// source file plus the side artifacts the workspace passes reconcile
+/// against. Returns the workspace and the number of shim crates skipped.
+pub fn load_workspace(root: &Path) -> std::io::Result<(Workspace, usize)> {
+    let mut shims = 0;
+    let mut files = Vec::new();
+    for info in &discover(root)? {
         if !info.is_first_party() {
-            report.shims_skipped += 1;
+            shims += 1;
             continue;
         }
         for (path, role) in crate_sources(info)? {
             let text = std::fs::read_to_string(&path)?;
             let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
-            scanned.push(SourceFile::scan(&rel, &info.name, role, &text));
+            files.push(SourceFile::scan(&rel, &info.name, role, &text));
         }
     }
-    report.files = scanned.len();
-    for file in &scanned {
-        report.diagnostics.extend(lint_file(file));
+    let read = |p: &str| std::fs::read_to_string(root.join(p)).ok();
+    let ws = Workspace {
+        files,
+        env_manifest: read(workspace::env_registry::MANIFEST_PATH),
+        readme: read("README.md"),
+        api_golden: read(workspace::api_surface::GOLDEN_PATH),
+    };
+    Ok((ws, shims))
+}
+
+/// Scans and lints the whole workspace rooted at `root`: file rules, then
+/// workspace rules, with per-rule wall time recorded and allow-comments
+/// applied to every diagnostic that lands on a scanned source line.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let (ws, shims_skipped) = load_workspace(root)?;
+    let mut report = Report { files: ws.files.len(), shims_skipped, ..Report::default() };
+    let known = known_rules();
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for file in &ws.files {
+        raw.extend(allow_syntax_diags(file, &known));
+    }
+    for rule in rules::registry() {
+        // ppn-check: allow(no-wallclock) per-rule timing is observability on the linter itself, not numerics
+        let t0 = std::time::Instant::now();
+        for file in &ws.files {
+            raw.extend((rule.check)(file));
+        }
+        report.timings.push(RuleTiming {
+            id: rule.id,
+            kind: RuleKind::File,
+            micros: t0.elapsed().as_micros(),
+        });
+    }
+    for rule in workspace::registry() {
+        // ppn-check: allow(no-wallclock) per-rule timing is observability on the linter itself, not numerics
+        let t0 = std::time::Instant::now();
+        raw.extend((rule.check)(&ws));
+        report.timings.push(RuleTiming {
+            id: rule.id,
+            kind: RuleKind::Workspace,
+            micros: t0.elapsed().as_micros(),
+        });
+    }
+    // Allow-comments suppress any diagnostic anchored on a scanned line,
+    // workspace findings included; findings on side artifacts (manifest,
+    // golden file) have no allow escape by design.
+    let by_path: std::collections::BTreeMap<&str, &SourceFile> =
+        ws.files.iter().map(|f| (f.path.as_str(), f)).collect();
+    for d in raw {
+        let allowed = by_path.get(d.path.as_str()).is_some_and(|f| is_allowed(f, &d));
+        if !allowed {
+            report.diagnostics.push(d);
+        }
     }
     report.diagnostics.sort();
     Ok(report)

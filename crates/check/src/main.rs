@@ -3,14 +3,119 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+fn usage() {
+    println!(
+        "usage: ppn-check [--all] [--root PATH] [--list] [--json]\n\
+         \x20                [--write-api-surface] [--write-env-docs]\n\
+         Lints first-party workspace crates; exits non-zero on any diagnostic.\n\
+         Allow a finding with `// ppn-check: allow(rule-id) reason`.\n\
+         --all                run every rule and print per-rule timing lines\n\
+         --json               print the report as JSON on stdout (summary on stderr)\n\
+         --list               print the rule table, grouped by kind\n\
+         --write-api-surface  regenerate results/api_surface.txt from the sources\n\
+         --write-env-docs     regenerate the README env-var table from env_manifest.toml"
+    );
+}
+
+fn list_rules() {
+    println!("file rules (per-file, line-oriented):");
+    for rule in ppn_check::rules::registry() {
+        println!(
+            "  {:<12} {}",
+            rule.id,
+            rule.description.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
+    }
+    println!("\nworkspace rules (cross-file, see every source at once):");
+    for rule in ppn_check::workspace::registry() {
+        println!(
+            "  {:<12} {}",
+            rule.id,
+            rule.description.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
+    }
+}
+
+/// Regenerates a checked-in artifact; returns the process exit code.
+fn write_artifact(root: &std::path::Path, which: &str) -> ExitCode {
+    let (ws, _) = match ppn_check::load_workspace(root) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("ppn-check: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match which {
+        "api" => {
+            let path = root.join(ppn_check::workspace::api_surface::GOLDEN_PATH);
+            let text = ppn_check::workspace::api_surface::snapshot(&ws);
+            std::fs::write(&path, text).map(|()| path)
+        }
+        _ => {
+            use ppn_check::workspace::env_registry as env;
+            let Some(manifest) = &ws.env_manifest else {
+                eprintln!("ppn-check: no {} to render from", env::MANIFEST_PATH);
+                return ExitCode::from(2);
+            };
+            let (entries, diags) = env::parse(manifest);
+            if !diags.is_empty() {
+                for d in &diags {
+                    eprintln!("{d}");
+                }
+                return ExitCode::FAILURE;
+            }
+            let Some(readme) = &ws.readme else {
+                eprintln!("ppn-check: no README.md to rewrite");
+                return ExitCode::from(2);
+            };
+            let (Some(begin), Some(end)) =
+                (readme.find(env::README_BEGIN), readme.find(env::README_END))
+            else {
+                eprintln!(
+                    "ppn-check: README.md lacks the {} … {} markers",
+                    env::README_BEGIN,
+                    env::README_END
+                );
+                return ExitCode::from(2);
+            };
+            let rebuilt = format!(
+                "{}\n{}{}",
+                &readme[..begin + env::README_BEGIN.len()],
+                env::render_table(&entries),
+                &readme[end..]
+            );
+            let path = root.join("README.md");
+            std::fs::write(&path, rebuilt).map(|()| path)
+        }
+    };
+    match result {
+        Ok(path) => {
+            println!("ppn-check: wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ppn-check: write failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list = false;
+    let mut json = false;
+    let mut timings = false;
+    let mut write: Option<&str> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--all" => {} // the default (and only) scan mode; kept for clarity
+            // --all is the default (and only) scan mode; it additionally
+            // turns on the per-rule timing lines.
+            "--all" => timings = true,
             "--list" => list = true,
+            "--json" => json = true,
+            "--write-api-surface" => write = Some("api"),
+            "--write-env-docs" => write = Some("env"),
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -19,11 +124,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!(
-                    "usage: ppn-check [--all] [--root PATH] [--list]\n\
-                     Lints first-party workspace crates; exits non-zero on any diagnostic.\n\
-                     Allow a finding with `// ppn-check: allow(rule-id) reason`."
-                );
+                usage();
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -33,14 +134,7 @@ fn main() -> ExitCode {
         }
     }
     if list {
-        println!("{:<12} description", "rule");
-        for rule in ppn_check::rules::registry() {
-            println!(
-                "{:<12} {}",
-                rule.id,
-                rule.description.split_whitespace().collect::<Vec<_>>().join(" ")
-            );
-        }
+        list_rules();
         return ExitCode::SUCCESS;
     }
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
@@ -48,23 +142,50 @@ fn main() -> ExitCode {
         eprintln!("ppn-check: no workspace root found above {}", cwd.display());
         return ExitCode::from(2);
     };
+    if let Some(which) = write {
+        return write_artifact(&root, which);
+    }
     match ppn_check::run(&root) {
         Ok(report) => {
-            for d in &report.diagnostics {
-                println!("{d}");
+            if json {
+                // Stdout carries only the JSON document so it pipes cleanly
+                // into a file or a parser; the summary goes to stderr.
+                println!("{}", report.to_json());
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+                if timings {
+                    for t in &report.timings {
+                        println!(
+                            "ppn-check: rule {:<12} [{:>9}] {:>7} µs",
+                            t.id,
+                            t.kind.label(),
+                            t.micros
+                        );
+                    }
+                }
             }
-            if report.is_clean() {
-                println!(
+            let summary = if report.is_clean() {
+                format!(
                     "ppn-check: clean — {} files scanned, {} shim crates exempt",
                     report.files, report.shims_skipped
-                );
-                ExitCode::SUCCESS
+                )
             } else {
-                println!(
+                format!(
                     "ppn-check: {} diagnostic(s) across {} files",
                     report.diagnostics.len(),
                     report.files
-                );
+                )
+            };
+            if json {
+                eprintln!("{summary}");
+            } else {
+                println!("{summary}");
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
                 ExitCode::FAILURE
             }
         }

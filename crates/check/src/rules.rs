@@ -34,7 +34,9 @@ pub struct Rule {
     pub id: &'static str,
     /// One-line description for `--list`.
     pub description: &'static str,
-    check: fn(&SourceFile) -> Vec<Diagnostic>,
+    /// The per-file checker. Public so the engine can time each rule
+    /// individually instead of only running the whole registry at once.
+    pub check: fn(&SourceFile) -> Vec<Diagnostic>,
 }
 
 /// Crates whose library code must be panic-free (rule `no-panic`).
@@ -330,7 +332,7 @@ fn check_hash_iter(file: &SourceFile) -> Vec<Diagnostic> {
 
 /// Identifier names declared on this line next to a container type:
 /// `let [mut] NAME`, `static NAME:`, struct field `NAME:`, fn param `NAME:`.
-fn declared_idents(code: &str) -> Vec<String> {
+pub(crate) fn declared_idents(code: &str) -> Vec<String> {
     let mut out = Vec::new();
     let t = code.trim();
     for kw in ["let mut ", "let ", "static mut ", "static "] {
@@ -352,7 +354,7 @@ fn declared_idents(code: &str) -> Vec<String> {
     out
 }
 
-fn leading_ident(s: &str) -> Option<String> {
+pub(crate) fn leading_ident(s: &str) -> Option<String> {
     let ident: String = s.chars().take_while(|&c| c.is_alphanumeric() || c == '_').collect();
     (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
         .then_some(ident)
@@ -362,7 +364,7 @@ fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-fn has_word(code: &str, word: &str) -> bool {
+pub(crate) fn has_word(code: &str, word: &str) -> bool {
     let mut from = 0;
     while let Some(p) = code[from..].find(word) {
         let at = from + p;

@@ -28,6 +28,11 @@ pub struct Line {
     pub code: String,
     /// Comment content (both `//` and `/* */` text landing on this line).
     pub comment: String,
+    /// Contents of string literals that *close* on this line, in source
+    /// order. A literal spanning lines is attributed to its closing line.
+    /// Rules that must see literal text (e.g. `env::var("PPN_…")` names)
+    /// read these instead of the blanked `code`.
+    pub strings: Vec<String>,
 }
 
 /// A scanned source file plus the derived structure the rules consume.
@@ -46,6 +51,11 @@ pub struct SourceFile {
     /// Inclusive 0-based line spans of function bodies (`fn` line → closing
     /// brace line), innermost spans included alongside enclosing ones.
     pub fn_spans: Vec<(usize, usize)>,
+    /// Per-line brace depth: `(depth at line start, depth at line end)`,
+    /// counting `{`/`}` in classified code only (strings and comments never
+    /// move the depth). The workspace passes use this to decide which lock
+    /// guards are still lexically live at a given line.
+    pub depths: Vec<(usize, usize)>,
 }
 
 impl SourceFile {
@@ -54,6 +64,7 @@ impl SourceFile {
         let lines = split_lines(text);
         let test_spans = find_test_spans(&lines);
         let fn_spans = find_fn_spans(&lines);
+        let depths = line_depths(&lines);
         SourceFile {
             path: path.to_string(),
             crate_name: crate_name.to_string(),
@@ -61,6 +72,7 @@ impl SourceFile {
             lines,
             test_spans,
             fn_spans,
+            depths,
         }
     }
 
@@ -96,6 +108,8 @@ pub fn split_lines(text: &str) -> Vec<Line> {
     let mut out = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
+    let mut strings = Vec::new();
+    let mut str_buf = String::new();
     let mut state = State::Normal;
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
@@ -108,6 +122,7 @@ pub fn split_lines(text: &str) -> Vec<Line> {
             out.push(Line {
                 code: std::mem::take(&mut code),
                 comment: std::mem::take(&mut comment),
+                strings: std::mem::take(&mut strings),
             });
             i += 1;
             continue;
@@ -178,26 +193,124 @@ pub fn split_lines(text: &str) -> Vec<Line> {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2; // skip the escaped char (handles \" and \\)
+                    // Keep the escaped pair verbatim (handles \" and \\).
+                    str_buf.push(c);
+                    if let Some(&n) = chars.get(i + 1) {
+                        str_buf.push(n);
+                    }
+                    i += 2;
                 } else if c == '"' {
+                    strings.push(std::mem::take(&mut str_buf));
                     state = State::Normal;
                     i += 1;
                 } else {
+                    str_buf.push(c);
                     i += 1;
                 }
             }
             State::RawStr(hashes) => {
                 if c == '"' && closes_raw(&chars, i, hashes) {
+                    strings.push(std::mem::take(&mut str_buf));
                     state = State::Normal;
                     i += 1 + hashes;
                 } else {
+                    str_buf.push(c);
                     i += 1;
                 }
             }
         }
     }
-    if !code.is_empty() || !comment.is_empty() {
-        out.push(Line { code, comment });
+    if !code.is_empty() || !comment.is_empty() || !strings.is_empty() {
+        out.push(Line { code, comment, strings });
+    }
+    out
+}
+
+/// Per-line `(start, end)` brace depth over classified code. Depth never
+/// goes negative (stray `}` saturates at 0) so damaged input cannot poison
+/// the rest of the file.
+pub fn line_depths(lines: &[Line]) -> Vec<(usize, usize)> {
+    let mut depth = 0usize;
+    lines
+        .iter()
+        .map(|line| {
+            let start = depth;
+            for c in line.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            (start, depth)
+        })
+        .collect()
+}
+
+/// A method call site extracted from one classified code line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Receiver expression text (`self.jobs`, `REGISTRY`, `queue`), with
+    /// balanced trailing call/index groups preserved (`foo()`).
+    pub receiver: String,
+    /// Method name (`lock`, `read`, `wait`, …).
+    pub method: String,
+    /// Byte offset of the `.` in the line's code (source order key).
+    pub at: usize,
+}
+
+/// Extracts `receiver.method(…)` call sites from a classified code line.
+/// Purely lexical: the receiver is the longest chain of identifiers, `.`,
+/// `::`, and balanced `()`/`[]` groups ending at the dot.
+pub fn call_sites(code: &str) -> Vec<CallSite> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..b.len() {
+        if b[i] != b'.' {
+            continue;
+        }
+        // Method name: ident (not starting with a digit) followed by `(`.
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        if j == i + 1 || j >= b.len() || b[j] != b'(' || b[i + 1].is_ascii_digit() {
+            continue;
+        }
+        let method = &code[i + 1..j];
+        // Receiver: walk left over idents, `.`, `::`, and balanced groups.
+        let mut k = i;
+        while k > 0 {
+            let p = b[k - 1];
+            if p.is_ascii_alphanumeric() || p == b'_' || p == b'.' || p == b':' {
+                k -= 1;
+            } else if p == b')' || p == b']' {
+                let (open, close) = if p == b')' { (b'(', b')') } else { (b'[', b']') };
+                let mut bal = 0i32;
+                let mut q = k;
+                while q > 0 {
+                    q -= 1;
+                    if b[q] == close {
+                        bal += 1;
+                    } else if b[q] == open {
+                        bal -= 1;
+                        if bal == 0 {
+                            break;
+                        }
+                    }
+                }
+                if bal != 0 {
+                    break;
+                }
+                k = q;
+            } else {
+                break;
+            }
+        }
+        let receiver = code[k..i].trim_start_matches(['.', ':']).to_string();
+        if !receiver.is_empty() {
+            out.push(CallSite { receiver, method: method.to_string(), at: i });
+        }
     }
     out
 }
@@ -365,5 +478,39 @@ mod tests {
         let src = "trait T {\n    fn decl(&self) -> usize;\n}";
         let lines = split_lines(src);
         assert_eq!(brace_span(&lines, 1), None);
+    }
+
+    #[test]
+    fn string_contents_are_captured_per_line() {
+        let src = "let v = std::env::var(\"PPN_THREADS\");\nlet r = r#\"raw {brace}\"#;";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].strings, vec!["PPN_THREADS".to_string()]);
+        assert_eq!(lines[1].strings, vec!["raw {brace}".to_string()]);
+        // Escapes are preserved verbatim, not interpreted.
+        let esc = split_lines("let s = \"a\\\"b\";");
+        assert_eq!(esc[0].strings, vec!["a\\\"b".to_string()]);
+    }
+
+    #[test]
+    fn depths_ignore_braces_in_strings_and_comments() {
+        let src = "fn f() {\n    let s = \"{{{\"; // }}}\n    if x { y(); }\n}";
+        let f = SourceFile::scan("x.rs", "ppn-core", Role::Lib, src);
+        assert_eq!(f.depths, vec![(0, 1), (1, 1), (1, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn call_sites_extract_receiver_chains() {
+        let sites = call_sites("    let g = self.jobs.lock();");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].receiver, "self.jobs");
+        assert_eq!(sites[0].method, "lock");
+        let chained = call_sites("REGISTRY.lock().push(x.len())");
+        let names: Vec<(&str, &str)> =
+            chained.iter().map(|s| (s.receiver.as_str(), s.method.as_str())).collect();
+        assert!(names.contains(&("REGISTRY", "lock")));
+        assert!(names.contains(&("REGISTRY.lock()", "push")));
+        assert!(names.contains(&("x", "len")));
+        // Tuple access and float literals are not method calls.
+        assert!(call_sites("let x = t.0; let y = 1.5;").is_empty());
     }
 }

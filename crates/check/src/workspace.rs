@@ -1,0 +1,96 @@
+//! The workspace-level analysis layer.
+//!
+//! PR 2's rules are per-file and line-oriented; the passes registered here
+//! see *every* scanned file at once (plus the checked-in side artifacts:
+//! the env manifest, the README, and the API-surface golden file). That is
+//! what makes cross-file properties checkable: a lock-order cycle whose two
+//! halves live in different functions, an env var read in one crate but
+//! documented nowhere, a `pub` item silently dropped from a crate's API.
+//!
+//! A [`WorkspaceRule`] is the second rule kind next to [`crate::rules::Rule`]:
+//! its checker receives the whole [`Workspace`] instead of one
+//! [`SourceFile`]. Diagnostics still carry `path:line` anchors, so the
+//! engine's allow-comment machinery applies unchanged to findings that land
+//! on a source line (findings on side artifacts such as
+//! `results/api_surface.txt` have no allow escape — they are resolved by
+//! regenerating the artifact).
+
+/// `api-surface`: pub-item snapshots diffed against a committed golden file.
+pub mod api_surface;
+/// `env-registry`: every `PPN_*` env access must match the env manifest.
+pub mod env_registry;
+/// `lock-order`: cross-file lock acquisition graph + cycle detection.
+pub mod lock_order;
+/// `no-wallclock`: wall-clock reads confined to obs/trace/bench.
+pub mod wallclock;
+
+use crate::rules::Diagnostic;
+use crate::scanner::SourceFile;
+
+/// Everything a workspace pass can see: the scanned first-party sources and
+/// the checked-in side artifacts the passes reconcile them against.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Every scanned first-party source file, in sorted path order.
+    pub files: Vec<SourceFile>,
+    /// Raw text of `env_manifest.toml` at the workspace root, if present.
+    pub env_manifest: Option<String>,
+    /// Raw text of `README.md` at the workspace root, if present.
+    pub readme: Option<String>,
+    /// Raw text of the committed `results/api_surface.txt` golden file.
+    pub api_golden: Option<String>,
+}
+
+/// A registered workspace-level rule: like [`crate::rules::Rule`], but the
+/// checker sees all files at once.
+pub struct WorkspaceRule {
+    /// Stable kebab-case identifier used in diagnostics and allow-comments.
+    pub id: &'static str,
+    /// One-line description for `--list`.
+    pub description: &'static str,
+    /// The pass itself.
+    pub check: fn(&Workspace) -> Vec<Diagnostic>,
+}
+
+/// The workspace-level rule set, in reporting order.
+pub fn registry() -> Vec<WorkspaceRule> {
+    vec![
+        WorkspaceRule {
+            id: "lock-order",
+            description: "Mutex/RwLock/Condvar acquisitions must form a cycle-free lock-order \
+                          graph (AB/BA nesting deadlocks); re-entrant acquisition of the same \
+                          lock is a 1-cycle",
+            check: lock_order::check,
+        },
+        WorkspaceRule {
+            id: "env-registry",
+            description: "every PPN_* env access must match an env_manifest.toml entry, every \
+                          entry must have a live access, and the README env table must be \
+                          regenerated from the manifest (--write-env-docs)",
+            check: env_registry::check,
+        },
+        WorkspaceRule {
+            id: "no-wallclock",
+            description: "Instant::now/SystemTime::now confined to obs, trace, and bench — \
+                          numerical crates stay wall-clock-free (replayability); everything \
+                          else routes through ppn_obs::clock",
+            check: wallclock::check,
+        },
+        WorkspaceRule {
+            id: "api-surface",
+            description: "the name-sorted snapshot of pub items per crate must equal the \
+                          committed results/api_surface.txt golden (--write-api-surface \
+                          regenerates after an intentional change)",
+            check: api_surface::check,
+        },
+    ]
+}
+
+/// Runs every workspace rule (allow-comments not yet applied).
+pub fn check_workspace(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in registry() {
+        out.extend((rule.check)(ws));
+    }
+    out
+}

@@ -1,0 +1,330 @@
+//! `env-registry`: `PPN_*` environment variables must be declared.
+//!
+//! Env knobs silently change numerical behavior (`PPN_THREADS`,
+//! `PPN_STEPS_SCALE`, …), so every one of them must be declared in the
+//! checked-in `env_manifest.toml` at the workspace root — name, owning
+//! crate, default, and effect. The manifest is the single source of truth:
+//! the README env-var table is *generated* from it
+//! (`ppn-check --write-env-docs`) and this pass fails when the two drift,
+//! when code touches an undeclared `PPN_*` variable, or when a manifest
+//! entry goes dead (no `env::var`/`set_var`/`remove_var` access anywhere —
+//! tests included, since tests setting stale knobs is exactly the rot this
+//! pass exists to catch).
+
+use crate::rules::Diagnostic;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+/// Path (relative to the workspace root) of the manifest.
+pub const MANIFEST_PATH: &str = "env_manifest.toml";
+
+/// One declared environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvVarSpec {
+    /// Variable name (`PPN_…`).
+    pub name: String,
+    /// Crate that owns (defines the semantics of) the variable.
+    pub owner: String,
+    /// Default behavior when unset.
+    pub default: String,
+    /// One-line description of what the variable changes.
+    pub effect: String,
+    /// 1-based line of the entry's `[[var]]` header in the manifest.
+    pub line: usize,
+}
+
+/// Parses the manifest. Syntax problems surface as diagnostics anchored in
+/// the manifest file, not as parse failures — the pass must keep running to
+/// report the rest of the workspace.
+pub fn parse(text: &str) -> (Vec<EnvVarSpec>, Vec<Diagnostic>) {
+    let mut entries: Vec<EnvVarSpec> = Vec::new();
+    let mut diags = Vec::new();
+    let mut cur: Option<EnvVarSpec> = None;
+    let flush = |cur: &mut Option<EnvVarSpec>,
+                 diags: &mut Vec<Diagnostic>,
+                 entries: &mut Vec<EnvVarSpec>| {
+        if let Some(e) = cur.take() {
+            let mut missing = Vec::new();
+            for (field, value) in [
+                ("name", &e.name),
+                ("crate", &e.owner),
+                ("default", &e.default),
+                ("effect", &e.effect),
+            ] {
+                if value.is_empty() {
+                    missing.push(field);
+                }
+            }
+            if missing.is_empty() {
+                entries.push(e);
+            } else {
+                diags.push(manifest_diag(
+                    e.line,
+                    format!("manifest entry `{}` missing field(s): {}", e.name, missing.join(", ")),
+                ));
+            }
+        }
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[var]]" {
+            flush(&mut cur, &mut diags, &mut entries);
+            cur = Some(EnvVarSpec {
+                name: String::new(),
+                owner: String::new(),
+                default: String::new(),
+                effect: String::new(),
+                line: i + 1,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            diags.push(manifest_diag(i + 1, format!("unparseable manifest line `{line}`")));
+            continue;
+        };
+        let value = value.trim().trim_matches('"').to_string();
+        let Some(e) = cur.as_mut() else {
+            diags.push(manifest_diag(i + 1, "key outside a [[var]] entry".into()));
+            continue;
+        };
+        match key.trim() {
+            "name" => e.name = value,
+            "crate" => e.owner = value,
+            "default" => e.default = value,
+            "effect" => e.effect = value,
+            other => diags.push(manifest_diag(i + 1, format!("unknown manifest key `{other}`"))),
+        }
+    }
+    flush(&mut cur, &mut diags, &mut entries);
+    // Name hygiene: the manifest covers exactly the PPN_* namespace.
+    for e in &entries {
+        let well_formed = e.name.strip_prefix("PPN_").is_some_and(|rest| {
+            !rest.is_empty()
+                && rest.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        });
+        if !well_formed {
+            diags.push(manifest_diag(e.line, format!("`{}` is not a PPN_* variable name", e.name)));
+        }
+    }
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &entries {
+        if let Some(first) = seen.insert(&e.name, e.line) {
+            diags.push(manifest_diag(
+                e.line,
+                format!("duplicate manifest entry `{}` (first declared on line {first})", e.name),
+            ));
+        }
+    }
+    (entries, diags)
+}
+
+fn manifest_diag(line: usize, message: String) -> Diagnostic {
+    Diagnostic { path: MANIFEST_PATH.to_string(), line, rule: "env-registry", message }
+}
+
+/// Every `PPN_*` env access in the workspace: `(name, path, 1-based line)`.
+/// Test code is included deliberately — stale knobs rot in tests first.
+pub fn env_accesses(ws: &Workspace) -> Vec<(String, String, usize)> {
+    const ENV_FNS: [&str; 3] = ["env::var", "env::set_var", "env::remove_var"];
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for (i, line) in file.lines.iter().enumerate() {
+            if !ENV_FNS.iter().any(|f| line.code.contains(f)) {
+                continue;
+            }
+            for s in &line.strings {
+                if s.starts_with("PPN_") {
+                    out.push((s.clone(), file.path.clone(), i + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the markdown env-var table (sorted by name) the README embeds.
+pub fn render_table(entries: &[EnvVarSpec]) -> String {
+    let mut sorted: Vec<&EnvVarSpec> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::from("| Variable | Owner | Default | Effect |\n|---|---|---|---|\n");
+    for e in sorted {
+        out.push_str(&format!("| `{}` | `{}` | {} | {} |\n", e.name, e.owner, e.default, e.effect));
+    }
+    out
+}
+
+/// Marker lines bounding the generated README region.
+pub const README_BEGIN: &str = "<!-- env-manifest:begin -->";
+/// Closing marker. See [`README_BEGIN`].
+pub const README_END: &str = "<!-- env-manifest:end -->";
+
+/// Extracts the generated region of a README, if the markers are present.
+pub fn readme_region(readme: &str) -> Option<&str> {
+    let begin = readme.find(README_BEGIN)? + README_BEGIN.len();
+    let end = readme[begin..].find(README_END)? + begin;
+    Some(&readme[begin..end])
+}
+
+/// The `env-registry` pass.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(manifest) = &ws.env_manifest else {
+        return vec![manifest_diag(
+            1,
+            "env_manifest.toml is missing from the workspace root — every PPN_* env var must \
+             be declared there"
+                .into(),
+        )];
+    };
+    let (entries, mut out) = parse(manifest);
+    let accesses = env_accesses(ws);
+    let declared: BTreeMap<&str, &EnvVarSpec> =
+        entries.iter().map(|e| (e.name.as_str(), e)).collect();
+    // 1. Undeclared access.
+    for (name, path, line) in &accesses {
+        if !declared.contains_key(name.as_str()) {
+            out.push(Diagnostic {
+                path: path.clone(),
+                line: *line,
+                rule: "env-registry",
+                message: format!(
+                    "env var `{name}` accessed without an env_manifest.toml entry — declare it \
+                     (name, crate, default, effect) or remove the access"
+                ),
+            });
+        }
+    }
+    // 2. Dead entries.
+    for e in &entries {
+        if !accesses.iter().any(|(name, _, _)| *name == e.name) {
+            out.push(manifest_diag(
+                e.line,
+                format!(
+                    "dead manifest entry `{}` — nothing in the workspace accesses it; delete \
+                     the entry or wire the variable",
+                    e.name
+                ),
+            ));
+        }
+    }
+    // 3. README drift.
+    if let Some(readme) = &ws.readme {
+        match readme_region(readme) {
+            Some(region) => {
+                if region.trim() != render_table(&entries).trim() {
+                    out.push(Diagnostic {
+                        path: "README.md".into(),
+                        line: 1 + readme[..readme.find(README_BEGIN).unwrap_or(0)].lines().count(),
+                        rule: "env-registry",
+                        message: "README env-var table is stale — regenerate it from the \
+                                  manifest with `cargo run -p ppn-check -- --write-env-docs`"
+                            .into(),
+                    });
+                }
+            }
+            None => out.push(Diagnostic {
+                path: "README.md".into(),
+                line: 1,
+                rule: "env-registry",
+                message: format!(
+                    "README has no generated env-var region ({README_BEGIN} … {README_END}) — \
+                     add the markers and run `--write-env-docs`"
+                ),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{Role, SourceFile};
+
+    const MANIFEST: &str = "\
+[[var]]
+name = \"PPN_THREADS\"
+crate = \"ppn-tensor\"
+default = \"available parallelism\"
+effect = \"Worker-pool size.\"
+";
+
+    fn ws(src: &str, manifest: &str, readme: Option<String>) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::scan("crates/tensor/src/par.rs", "ppn-tensor", Role::Lib, src)],
+            env_manifest: Some(manifest.to_string()),
+            readme,
+            api_golden: None,
+        }
+    }
+
+    #[test]
+    fn declared_and_accessed_is_clean() {
+        let src = "pub fn n() -> usize {\n    std::env::var(\"PPN_THREADS\").ok().and_then(|s| s.parse().ok()).unwrap_or(1)\n}";
+        assert!(check(&ws(src, MANIFEST, None)).is_empty());
+    }
+
+    #[test]
+    fn undeclared_access_is_flagged() {
+        let src = "pub fn n() {\n    let _ = std::env::var(\"PPN_THREADS\");\n    let _ = std::env::var(\"PPN_MYSTERY\");\n}";
+        let d = check(&ws(src, MANIFEST, None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("PPN_MYSTERY"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn dead_entry_is_flagged_even_when_only_tests_touch_others() {
+        let manifest = format!(
+            "{MANIFEST}[[var]]\nname = \"PPN_TW_UNUSED\"\ncrate = \"ppn-bench\"\ndefault = \"unset\"\neffect = \"Nothing — dead.\"\n"
+        );
+        let src = "pub fn n() { let _ = std::env::var(\"PPN_THREADS\"); }";
+        let d = check(&ws(src, &manifest, None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("dead manifest entry `PPN_TW_UNUSED`"));
+        assert_eq!(d[0].path, MANIFEST_PATH);
+    }
+
+    #[test]
+    fn set_var_in_test_code_counts_as_access() {
+        // A set_var of an undeclared var inside #[cfg(test)] must be caught:
+        // this is exactly the PPN_TW_UNUSED rot pattern.
+        let src = "pub fn n() { let _ = std::env::var(\"PPN_THREADS\"); }\n#[cfg(test)]\nmod tests {\n    fn t() { std::env::set_var(\"PPN_TW_UNUSED\", \"1\"); }\n}";
+        let d = check(&ws(src, MANIFEST, None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("PPN_TW_UNUSED"));
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn readme_drift_and_missing_markers_are_flagged() {
+        let (entries, _) = parse(MANIFEST);
+        let fresh =
+            format!("intro\n{README_BEGIN}\n{}\n{README_END}\ntail\n", render_table(&entries));
+        let src = "pub fn n() { let _ = std::env::var(\"PPN_THREADS\"); }";
+        assert!(check(&ws(src, MANIFEST, Some(fresh))).is_empty());
+        let stale = format!("intro\n{README_BEGIN}\n| old |\n{README_END}\n");
+        let d = check(&ws(src, MANIFEST, Some(stale)));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("stale"));
+        let none = check(&ws(src, MANIFEST, Some("no markers here".into())));
+        assert_eq!(none.len(), 1);
+        assert!(none[0].message.contains("no generated env-var region"));
+    }
+
+    #[test]
+    fn manifest_syntax_problems_are_diagnostics() {
+        let broken = "[[var]]\nname = \"PPN_X\"\ncrate = \"ppn-core\"\ndefault = \"0\"\n";
+        let (entries, diags) = parse(broken); // missing `effect`
+        assert!(entries.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("missing field(s): effect"));
+        let (_, dup) = parse(&format!("{MANIFEST}{MANIFEST}"));
+        assert!(dup.iter().any(|d| d.message.contains("duplicate manifest entry")));
+        let (_, bad) =
+            parse("[[var]]\nname = \"NOT_PPN\"\ncrate = \"x\"\ndefault = \"0\"\neffect = \"e\"\n");
+        assert!(bad.iter().any(|d| d.message.contains("not a PPN_* variable name")));
+    }
+}

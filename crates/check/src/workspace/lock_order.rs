@@ -1,0 +1,437 @@
+//! `lock-order`: build the workspace lock-order graph and reject cycles.
+//!
+//! ## Model
+//!
+//! A *lock* is an identifier declared next to a `Mutex`, `RwLock`, or
+//! `Condvar` type (a `static`, a `let` binding, a struct field, or an fn
+//! parameter). Lock identity is `(declaring file, identifier)` — two
+//! `REGISTRY` statics in different modules are different locks, so
+//! unrelated modules can never be welded into a false cycle.
+//!
+//! An *acquisition* is a `.lock()` / `.read()` / `.write()` / `.wait*()`
+//! call whose receiver resolves to a known lock of the same file. A guard
+//! bound with `let` is held until its block ends (tracked with the
+//! scanner's per-line brace depths) or until an explicit `drop(guard)`;
+//! a guard used as a temporary (`x.lock().len()`) is held to the end of
+//! its line only.
+//!
+//! While lock `A` is held, acquiring lock `B` adds the directed edge
+//! `A → B` (with both acquisition sites). Any cycle in the resulting graph
+//! — including the 1-cycle of re-acquiring a non-reentrant lock — is a
+//! latent deadlock and fails the pass.
+//!
+//! ## Known false negative
+//!
+//! The analysis is lexical: it sees nesting *within one function body*
+//! (closures included, since they are just blocks). A guard passed across
+//! a function or closure boundary — `fn helper(g: MutexGuard<…>)` calling
+//! `other.lock()` — is invisible, as is a lock acquired behind a method
+//! call. Keeping lock regions short and call-free is therefore still on
+//! the human. See DESIGN.md §"Static analysis v2".
+
+use crate::rules::{declared_idents, has_word, leading_ident, Diagnostic};
+use crate::scanner::{call_sites, SourceFile};
+use crate::workspace::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that acquire a lock (parking_lot and std spellings).
+const ACQUIRE_METHODS: [&str; 6] = ["lock", "read", "write", "wait", "wait_while", "wait_for"];
+
+/// Type names whose neighbouring identifier declares a lock.
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// One acquisition site, used in diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Site {
+    path: String,
+    line: usize, // 1-based
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.path, self.line)
+    }
+}
+
+/// Lock identity: declaring file + identifier.
+type LockId = (String, String);
+
+/// Identifiers declared as locks anywhere in `file`.
+fn lock_idents(file: &SourceFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        if !LOCK_TYPES.iter().any(|t| has_word(code, t)) {
+            continue;
+        }
+        // Declaration statements: `let x = Mutex::new(…)`, `static X: …`.
+        out.extend(declared_idents(code));
+        // Typed positions anywhere in the line (fields, fn params):
+        // `name: [&][mut ]Mutex<…>` / `name: &'a RwLock<…>`.
+        for ty in LOCK_TYPES {
+            let mut from = 0;
+            while let Some(p) = code[from..].find(ty) {
+                let at = from + p;
+                from = at + ty.len();
+                if let Some(name) = ident_before_colon(&code[..at]) {
+                    out.insert(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Walks back over `&`, lifetimes, `mut`, and whitespace before a type
+/// position; if a `:` preceded by an identifier is found, returns it.
+fn ident_before_colon(before: &str) -> Option<String> {
+    let mut s = before.trim_end();
+    loop {
+        let t = s.trim_end_matches(|c: char| c == '&' || c.is_whitespace());
+        let t = t.strip_suffix("mut").unwrap_or(t);
+        let t = match t.trim_end().rfind('\'') {
+            // `&'a Mutex<…>`: drop the lifetime token.
+            Some(q) if t[q + 1..].chars().all(|c| c.is_alphanumeric() || c == '_') => &t[..q],
+            _ => t.trim_end(),
+        };
+        if t.len() == s.len() {
+            break;
+        }
+        s = t;
+    }
+    let t = s.strip_suffix(':')?;
+    let t = t.trim_end();
+    let end = t.len();
+    let start = t
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .last()
+        .map(|(i, _)| i)?;
+    let name = &t[start..end];
+    (!name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit())).then(|| name.to_string())
+}
+
+/// Normalizes a call receiver to the declared identifier: `self.jobs` →
+/// `jobs`, `Self::REGISTRY` → `REGISTRY`, plain `queue` stays `queue`.
+fn receiver_ident(receiver: &str) -> &str {
+    receiver.rsplit(['.', ':']).next().unwrap_or(receiver)
+}
+
+/// A guard currently held during the per-function walk.
+struct Held {
+    lock: LockId,
+    site: Site,
+    /// Brace depth at acquisition; released once the line depth drops below.
+    depth: usize,
+    /// Binding name, for `drop(name)` release tracking (None = temporary).
+    guard: Option<String>,
+}
+
+/// Directed edge set: `(from, to) → (from-site, to-site)`, first occurrence.
+type Edges = BTreeMap<(LockId, LockId), (Site, Site)>;
+
+/// Extracts every held-while-acquiring edge from one file.
+fn file_edges(file: &SourceFile, edges: &mut Edges) {
+    let idents = lock_idents(file);
+    if idents.is_empty() {
+        return;
+    }
+    // Walk outermost function spans only — inner spans are covered by the
+    // outer walk, and double-processing would duplicate work, not edges.
+    let outer: Vec<(usize, usize)> = file
+        .fn_spans
+        .iter()
+        .copied()
+        .filter(|&(s, e)| {
+            !file.fn_spans.iter().any(|&(s2, e2)| (s2 < s && e <= e2) || (s2 <= s && e < e2))
+        })
+        .collect();
+    for (s, e) in outer {
+        let mut held: Vec<Held> = Vec::new();
+        for j in s..=e.min(file.lines.len() - 1) {
+            let (depth_start, _) = file.depths[j];
+            // Block exits release every guard acquired deeper than here.
+            held.retain(|h| h.depth <= depth_start);
+            let code = &file.lines[j].code;
+            // Explicit early release: `drop(guard)`.
+            held.retain(|h| match &h.guard {
+                Some(g) => !(code.contains("drop(") && has_word(code, g)),
+                None => true,
+            });
+            let mut line_temps: Vec<(LockId, Site)> = Vec::new();
+            for site in call_sites(code) {
+                if !ACQUIRE_METHODS.contains(&site.method.as_str()) {
+                    continue;
+                }
+                let name = receiver_ident(&site.receiver);
+                if !idents.contains(name) {
+                    continue;
+                }
+                let lock: LockId = (file.path.clone(), name.to_string());
+                let at = Site { path: file.path.clone(), line: j + 1 };
+                for (from, from_site) in held
+                    .iter()
+                    .map(|h| (&h.lock, &h.site))
+                    .chain(line_temps.iter().map(|(l, s)| (l, s)))
+                {
+                    edges
+                        .entry((from.clone(), lock.clone()))
+                        .or_insert_with(|| (from_site.clone(), at.clone()));
+                }
+                if let Some(guard) = binding_name(code, site.at) {
+                    held.push(Held {
+                        lock,
+                        site: at,
+                        depth: depth_start,
+                        guard: Some(guard).filter(|g| g != "_"),
+                    });
+                } else {
+                    line_temps.push((lock, at));
+                }
+            }
+        }
+    }
+}
+
+/// If the call at byte offset `at` is bound by a `let` on the same line,
+/// returns the binding name (`let [mut] NAME = …`).
+fn binding_name(code: &str, at: usize) -> Option<String> {
+    let head = &code[..at];
+    let let_pos = head.rfind("let ")?;
+    let rest = head[let_pos + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    // An intervening `;` means the `let` belongs to an earlier statement.
+    if head[let_pos..].contains(';') {
+        return None;
+    }
+    leading_ident(rest)
+}
+
+/// Renders a lock for humans: `ident (file.rs)`.
+fn show(lock: &LockId) -> String {
+    let file = lock.0.rsplit('/').next().unwrap_or(&lock.0);
+    format!("`{}` ({file})", lock.1)
+}
+
+/// The `lock-order` pass: collect edges, then reject any cycle.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut edges: Edges = BTreeMap::new();
+    for file in &ws.files {
+        file_edges(file, &mut edges);
+    }
+    // Adjacency view for path search.
+    let mut adj: BTreeMap<&LockId, Vec<&LockId>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<BTreeSet<LockId>> = BTreeSet::new();
+    for ((from, to), (from_site, to_site)) in &edges {
+        // The edge closes a cycle iff `to` can reach `from` again.
+        let Some(back) = path(&adj, to, from) else { continue };
+        let members: BTreeSet<LockId> = back.iter().map(|l| (*l).clone()).collect();
+        let member_count = members.len();
+        if !reported.insert(members) {
+            continue; // one report per distinct lock set
+        }
+        // Render the full cycle with each edge's acquisition sites.
+        let mut hops = vec![format!(
+            "{} acquired at {to_site} while holding {} (acquired at {from_site})",
+            show(to),
+            show(from)
+        )];
+        for w in back.windows(2) {
+            let (s_from, s_to) = &edges[&(w[0].clone(), w[1].clone())];
+            hops.push(format!(
+                "{} acquired at {s_to} while holding {} (acquired at {s_from})",
+                show(w[1]),
+                show(w[0])
+            ));
+        }
+        out.push(Diagnostic {
+            path: to_site.path.clone(),
+            line: to_site.line,
+            rule: "lock-order",
+            message: format!(
+                "lock-order cycle ({member_count} lock(s)): {} — a consistent global \
+                 acquisition order is required to rule out deadlock",
+                hops.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+/// Shortest path `start → … → goal` over the edge set (BFS), returned as
+/// the node list including both endpoints. `start == goal` returns the
+/// 1-cycle `[start, goal]` only if a self-edge exists (handled by caller
+/// via edge iteration, so here plain BFS suffices).
+fn path<'a>(
+    adj: &BTreeMap<&'a LockId, Vec<&'a LockId>>,
+    start: &'a LockId,
+    goal: &LockId,
+) -> Option<Vec<&'a LockId>> {
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let mut prev: BTreeMap<&LockId, &LockId> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(node) = queue.pop_front() {
+        for &next in adj.get(node).into_iter().flatten() {
+            if next == start || prev.contains_key(next) {
+                continue;
+            }
+            prev.insert(next, node);
+            if next == goal {
+                // The prev chain already terminates at `start` (which has
+                // no predecessor), so walking it back yields start…goal.
+                let mut chain = vec![next];
+                let mut cur = next;
+                while let Some(&p) = prev.get(cur) {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{Role, SourceFile};
+
+    fn ws(src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::scan("crates/serve/src/x.rs", "ppn-serve", Role::Lib, src)],
+            ..Workspace::default()
+        }
+    }
+
+    #[test]
+    fn lock_idents_cover_statics_fields_params_and_lets() {
+        let src = "static REG: Mutex<u32> = Mutex::new(0);\nstruct S { jobs: Mutex<Vec<u32>> }\nfn f(queue: &Mutex<u32>, cv: &'a Condvar) {\n    let local = RwLock::new(1);\n}";
+        let f = SourceFile::scan("x.rs", "ppn-serve", Role::Lib, src);
+        let ids = lock_idents(&f);
+        for name in ["REG", "jobs", "queue", "cv", "local"] {
+            assert!(ids.contains(name), "{name} missing from {ids:?}");
+        }
+    }
+
+    #[test]
+    fn nested_opposite_orders_form_a_cycle() {
+        let src = "\
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+pub fn ab() {
+    let a = A.lock();
+    let b = B.lock();
+    drop((a, b));
+}
+pub fn ba() {
+    let b = B.lock();
+    let a = A.lock();
+    drop((a, b));
+}";
+        let d = check(&ws(src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("x.rs:5"), "{}", d[0].message);
+        assert!(d[0].message.contains("x.rs:10"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "\
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+pub fn ab() {
+    let a = A.lock();
+    let b = B.lock();
+    drop((a, b));
+}
+pub fn ab_again() {
+    let a = A.lock();
+    let b = B.lock();
+    drop((a, b));
+}";
+        assert!(check(&ws(src)).is_empty());
+    }
+
+    #[test]
+    fn reacquiring_the_same_lock_is_a_one_cycle() {
+        let src = "\
+static A: Mutex<u32> = Mutex::new(0);
+pub fn double() {
+    let a = A.lock();
+    let b = A.lock();
+    drop((a, b));
+}";
+        let d = check(&ws(src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn block_exit_and_drop_release_guards() {
+        let src = "\
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+pub fn scoped() {
+    {
+        let a = A.lock();
+        drop(a);
+    }
+    let b = B.lock();
+    drop(b);
+}
+pub fn dropped() {
+    let b = B.lock();
+    drop(b);
+    let a = A.lock();
+    drop(a);
+}
+pub fn ab() {
+    let a = A.lock();
+    let b = B.lock();
+    drop((a, b));
+}";
+        // scoped/dropped produce no B→A edges, so ab's A→B cannot cycle.
+        assert!(check(&ws(src)).is_empty());
+    }
+
+    #[test]
+    fn same_name_in_different_files_stays_distinct() {
+        let one = "static REG: Mutex<u32> = Mutex::new(0);\nstatic AUX: Mutex<u32> = Mutex::new(0);\npub fn f() {\n    let r = REG.lock();\n    let x = AUX.lock();\n    drop((r, x));\n}";
+        let two = "static REG: Mutex<u32> = Mutex::new(0);\nstatic AUX: Mutex<u32> = Mutex::new(0);\npub fn g() {\n    let x = AUX.lock();\n    let r = REG.lock();\n    drop((r, x));\n}";
+        let ws = Workspace {
+            files: vec![
+                SourceFile::scan("crates/obs/src/one.rs", "ppn-obs", Role::Lib, one),
+                SourceFile::scan("crates/obs/src/two.rs", "ppn-obs", Role::Lib, two),
+            ],
+            ..Workspace::default()
+        };
+        // Opposite orders, but over *different* lock pairs — no cycle.
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn temporary_guards_only_pair_within_their_line() {
+        let src = "\
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+pub fn f() -> usize {
+    A.lock().len()
+}
+pub fn g() -> usize {
+    B.lock().len() + A.lock().len()
+}";
+        // f's temporary is released before g runs; g orders B before A on
+        // one line, and nothing ever orders A before B — no cycle.
+        assert!(check(&ws(src)).is_empty());
+    }
+}

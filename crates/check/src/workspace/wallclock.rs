@@ -1,0 +1,95 @@
+//! `no-wallclock`: wall-clock reads are confined to the observability
+//! stack.
+//!
+//! Bit-identical reproducibility is the workspace's standing verification
+//! contract: a numerical crate that reads the wall clock can smuggle
+//! nondeterminism into results (timing-dependent branches, timestamps in
+//! outputs) and breaks replayability. `Instant::now`/`SystemTime::now` are
+//! therefore allowed only in the crates whose *job* is timing — `ppn-obs`,
+//! `ppn-trace`, `ppn-bench` — while every other crate routes through the
+//! single `ppn_obs::clock` chokepoint (which a replay harness can audit or
+//! virtualize in one place). Using the `Instant`/`SystemTime` *types* (e.g.
+//! carrying a timestamp produced by obs) is fine; only the clock *reads*
+//! are flagged.
+
+use crate::rules::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Crates allowed to read the wall clock directly.
+const ALLOWED_CRATES: [&str; 3] = ["ppn-obs", "ppn-trace", "ppn-bench"];
+
+/// Clock-read patterns. `elapsed()` on an existing `Instant` is not listed:
+/// it derives from a read that already happened at a sanctioned site.
+const CLOCK_PATTERNS: [(&str, &str); 2] =
+    [("Instant::now", "monotonic clock read"), ("SystemTime::now", "wall clock read")];
+
+/// The `no-wallclock` pass.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if ALLOWED_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if file.in_test(i) {
+                continue;
+            }
+            for (pat, why) in CLOCK_PATTERNS {
+                if line.code.contains(pat) {
+                    out.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: i + 1,
+                        rule: "no-wallclock",
+                        message: format!(
+                            "{why} outside obs/trace/bench — use ppn_obs::clock::now() so \
+                             numerical crates stay replayable (`{}`)",
+                            line.code.trim()
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{Role, SourceFile};
+
+    fn ws(path: &str, krate: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::scan(path, krate, Role::Lib, src)],
+            ..Workspace::default()
+        }
+    }
+
+    #[test]
+    fn numerical_crates_may_not_read_the_clock() {
+        let src = "pub fn f() {\n    let t0 = std::time::Instant::now();\n    let w = std::time::SystemTime::now();\n    drop((t0, w));\n}";
+        let d = check(&ws("crates/core/src/x.rs", "ppn-core", src));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn obs_trace_bench_are_exempt() {
+        let src = "pub fn f() { let t0 = std::time::Instant::now(); drop(t0); }";
+        for (path, krate) in [
+            ("crates/obs/src/x.rs", "ppn-obs"),
+            ("crates/trace/src/x.rs", "ppn-trace"),
+            ("crates/bench/src/x.rs", "ppn-bench"),
+        ] {
+            assert!(check(&ws(path, krate, src)).is_empty(), "{krate}");
+        }
+    }
+
+    #[test]
+    fn clock_types_and_test_code_are_fine() {
+        let src = "use std::time::Instant;\npub struct S { pub at: Instant }\npub fn f(t: Instant) -> f64 { t.elapsed().as_secs_f64() }\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}";
+        assert!(check(&ws("crates/serve/src/x.rs", "ppn-serve", src)).is_empty());
+    }
+}

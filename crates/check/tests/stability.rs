@@ -82,4 +82,46 @@ proptest! {
         let f = SourceFile::scan("crates/core/src/fuzz.rs", "ppn-core", Role::Lib, &src);
         let _ = lint_file(&f);
     }
+
+    #[test]
+    fn block_tracker_roundtrips_generated_soup(
+        // Each atom appends one construct; balanced braces are emitted in
+        // matched pairs by construction, so the true depth at EOF is zero.
+        atoms in proptest::collection::vec(0u8..6, 0..60),
+    ) {
+        let mut src = String::new();
+        let mut pending = 0usize;
+        for (i, atom) in atoms.iter().enumerate() {
+            match atom {
+                // A balanced block with a statement inside.
+                0 => { src.push_str("fn f() {\n    let x = 1;\n"); pending += 1; }
+                // A string literal stuffed with braces — must not count.
+                1 => src.push_str(&format!("let s{i} = \"}}}}{{{{\";\n")),
+                // A raw string with braces and quotes.
+                2 => src.push_str(&format!("let r{i} = r#\"{{\" }}\"#;\n")),
+                // Line comment with braces.
+                3 => src.push_str("// closing }} and opening {{\n"),
+                // Block comment spanning lines, braces inside.
+                4 => src.push_str("/* {{{\n   }}} */\n"),
+                // Close one pending block if any.
+                5 => {
+                    if pending > 0 { src.push_str("}\n"); pending -= 1; }
+                }
+                _ => unreachable!(),
+            }
+        }
+        for _ in 0..pending {
+            src.push_str("}\n");
+        }
+        let f = SourceFile::scan("crates/core/src/soup.rs", "ppn-core", Role::Lib, &src);
+        // Depth returns to zero at EOF: every brace the tracker counted was
+        // a real code brace, and they balance by construction.
+        prop_assert_eq!(f.depths.last().map_or(0, |d| d.1), 0, "src:\n{}", src);
+        // Per-line depths chain: each line starts where the previous ended.
+        for w in f.depths.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        // And the first line starts at depth zero.
+        prop_assert_eq!(f.depths.first().map_or(0, |d| d.0), 0);
+    }
 }

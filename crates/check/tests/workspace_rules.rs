@@ -1,0 +1,161 @@
+//! Fixture-driven tests for the workspace-level passes: each rule gets a
+//! failing and a passing fixture under `crates/check/fixtures/`, assembled
+//! into a synthetic [`Workspace`] exactly as the engine would build one.
+
+use ppn_check::workspace::{api_surface, env_registry, Workspace};
+use ppn_check::{Role, SourceFile};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn scan(name: &str, claimed_path: &str, crate_name: &str) -> SourceFile {
+    SourceFile::scan(claimed_path, crate_name, Role::Lib, &fixture(name))
+}
+
+const MANIFEST: &str = "\
+[[var]]
+name = \"PPN_THREADS\"
+crate = \"ppn-tensor\"
+default = \"available parallelism\"
+effect = \"Worker-pool size.\"
+";
+
+#[test]
+fn lock_order_fixture_plants_a_detectable_deadlock() {
+    let ws = Workspace {
+        files: vec![scan("lock_order_fail.rs", "crates/serve/src/pool.rs", "ppn-serve")],
+        ..Workspace::default()
+    };
+    let d = ppn_check::workspace::lock_order::check(&ws);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "lock-order");
+    // Both halves of the AB/BA pattern must be named with their sites:
+    // `ab` acquires STATS under JOBS at line 11, `ba` the reverse at 18.
+    for site in ["pool.rs:11", "pool.rs:18"] {
+        assert!(d[0].message.contains(site), "missing {site} in: {}", d[0].message);
+    }
+    let clean = Workspace {
+        files: vec![scan("lock_order_pass.rs", "crates/serve/src/pool.rs", "ppn-serve")],
+        ..Workspace::default()
+    };
+    assert!(ppn_check::workspace::lock_order::check(&clean).is_empty());
+}
+
+#[test]
+fn wallclock_fixtures() {
+    let fail = Workspace {
+        files: vec![scan("wallclock_fail.rs", "crates/core/src/step.rs", "ppn-core")],
+        ..Workspace::default()
+    };
+    let d = ppn_check::workspace::wallclock::check(&fail);
+    assert_eq!(d.len(), 2, "{d:?}");
+    let pass = Workspace {
+        files: vec![scan("wallclock_pass.rs", "crates/core/src/step.rs", "ppn-core")],
+        ..Workspace::default()
+    };
+    assert!(ppn_check::workspace::wallclock::check(&pass).is_empty());
+    // The same failing file is exempt when it lives in the obs crate.
+    let obs = Workspace {
+        files: vec![scan("wallclock_fail.rs", "crates/obs/src/step.rs", "ppn-obs")],
+        ..Workspace::default()
+    };
+    assert!(ppn_check::workspace::wallclock::check(&obs).is_empty());
+}
+
+#[test]
+fn env_registry_fixtures() {
+    let fail = Workspace {
+        files: vec![scan("env_registry_fail.rs", "crates/tensor/src/par.rs", "ppn-tensor")],
+        env_manifest: Some(MANIFEST.into()),
+        ..Workspace::default()
+    };
+    let d = ppn_check::workspace::env_registry::check(&fail);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("PPN_UNDECLARED"));
+    let pass = Workspace {
+        files: vec![scan("env_registry_pass.rs", "crates/tensor/src/par.rs", "ppn-tensor")],
+        env_manifest: Some(MANIFEST.into()),
+        ..Workspace::default()
+    };
+    assert!(ppn_check::workspace::env_registry::check(&pass).is_empty());
+}
+
+#[test]
+fn api_surface_golden_workflow() {
+    let files = vec![scan("api_surface_src.rs", "crates/serve/src/pool.rs", "ppn-serve")];
+    // No golden yet: the pass demands one.
+    let missing = Workspace { files: files.clone(), ..Workspace::default() };
+    let d = api_surface::check(&missing);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("--write-api-surface"));
+    // `--write-api-surface` writes snapshot(); committing it makes the pass
+    // clean, and the snapshot holds exactly the fixture's public items.
+    let golden = api_surface::snapshot(&missing);
+    for entry in [
+        "ppn-serve\tstruct\tPool",
+        "ppn-serve\tfield\tPool.workers",
+        "ppn-serve\tfn\tPool::submit",
+        "ppn-serve\tfn\tspawn",
+        "ppn-serve\tconst\tMAX",
+    ] {
+        assert!(golden.contains(entry), "missing {entry:?} in:\n{golden}");
+    }
+    for private in ["queue", "rebalance", "internal"] {
+        assert!(!golden.contains(private), "{private} leaked into:\n{golden}");
+    }
+    let blessed = Workspace {
+        files: files.clone(),
+        api_golden: Some(golden.clone()),
+        ..Workspace::default()
+    };
+    assert!(api_surface::check(&blessed).is_empty());
+    // An API change against the committed golden is flagged both ways.
+    let mut grown = files.clone();
+    grown.push(SourceFile::scan(
+        "crates/serve/src/extra.rs",
+        "ppn-serve",
+        Role::Lib,
+        "/// New.\npub fn leaked() {}\n",
+    ));
+    let widened =
+        Workspace { files: grown, api_golden: Some(golden.clone()), ..Workspace::default() };
+    let d = api_surface::check(&widened);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("new pub item") && d[0].message.contains("leaked"));
+    let shrunk = Workspace { files: Vec::new(), api_golden: Some(golden), ..Workspace::default() };
+    let d = api_surface::check(&shrunk);
+    assert!(!d.is_empty());
+    assert!(d.iter().all(|x| x.message.contains("no longer exists")));
+}
+
+#[test]
+fn env_docs_render_matches_manifest() {
+    let (entries, diags) = env_registry::parse(MANIFEST);
+    assert!(diags.is_empty(), "{diags:?}");
+    let table = env_registry::render_table(&entries);
+    assert!(table.starts_with("| Variable | Owner | Default | Effect |"));
+    assert!(table
+        .contains("| `PPN_THREADS` | `ppn-tensor` | available parallelism | Worker-pool size. |"));
+    let readme = format!(
+        "# title\n\n{}\n{}{}\n",
+        env_registry::README_BEGIN,
+        table,
+        env_registry::README_END
+    );
+    assert_eq!(env_registry::readme_region(&readme).map(str::trim), Some(table.trim()));
+}
+
+#[test]
+fn workspace_rules_are_registered_and_allowable() {
+    let ids: Vec<&str> = ppn_check::workspace::registry().iter().map(|r| r.id).collect();
+    assert_eq!(ids, ["lock-order", "env-registry", "no-wallclock", "api-surface"]);
+    // Allow-comments must recognise workspace rule ids (lib.rs uses
+    // allow(no-wallclock) on its own timing reads).
+    for id in ids {
+        assert!(ppn_check::known_rules().contains(&id), "{id} not allowable");
+    }
+}

@@ -199,7 +199,7 @@ impl<'a> Trainer<'a> {
         // all children of one `train.step` root, rendered by `ppn-trace`.
         let trace_root = ppn_obs::TraceSpan::root("train.step");
         let tctx = trace_root.context();
-        let wall = std::time::Instant::now();
+        let wall = ppn_obs::clock::now();
         let t0 = self.sample_start();
         let tn = self.train_cfg.batch;
         let m1 = self.dataset.assets() + 1;
@@ -223,7 +223,7 @@ impl<'a> Trainer<'a> {
             WindowBatch::new(&windows, &prevs, self.dataset.assets(), k, self.net.cfg.features);
         let rel_t = Tensor::from_vec(&[tn, m1], rels);
         let hat_t = Tensor::from_vec(&[tn, m1], drifted);
-        let t_synth = std::time::Instant::now();
+        let t_synth = ppn_obs::clock::now();
         tctx.emit_span("train.synth", wall, t_synth);
 
         // Forward + reward + backward.
@@ -239,13 +239,13 @@ impl<'a> Trainer<'a> {
             self.reward_cfg.gamma,
             self.reward_cfg.psi,
         );
-        let t_forward = std::time::Instant::now();
+        let t_forward = ppn_obs::clock::now();
         tctx.emit_span("train.forward", t_synth, t_forward);
         g.backward(nodes.loss);
         let mut grads = bind.grads(&g);
         let grad_norm = clip_global_norm(&mut grads, self.train_cfg.clip);
         self.opt.step(&mut self.net.store, &grads);
-        let t_backward = std::time::Instant::now();
+        let t_backward = ppn_obs::clock::now();
         tctx.emit_span("train.backward", t_forward, t_backward);
 
         // Write the new actions back into the PVM.
@@ -255,7 +255,7 @@ impl<'a> Trainer<'a> {
             crate::contracts::assert_simplex(&row, "Trainer::step PVM writeback");
             self.pvm[t0 + b] = row;
         }
-        tctx.emit_span("train.pvm_writeback", t_backward, std::time::Instant::now());
+        tctx.emit_span("train.pvm_writeback", t_backward, ppn_obs::clock::now());
 
         let stats = StepStats {
             reward: g.value(nodes.reward).item(),

@@ -176,7 +176,7 @@ impl Dataset {
     /// Builds the preset dataset with a seed offset (for multi-seed runs).
     pub fn load_with_seed(preset: Preset, seed_offset: u64) -> Dataset {
         let _span = ppn_obs::span!("dataset.load");
-        let wall = std::time::Instant::now();
+        let wall = ppn_obs::clock::now();
         let mut cfg = preset.market_config();
         cfg.seed = cfg.seed.wrapping_add(seed_offset.wrapping_mul(0x9e3779b97f4a7c15));
         let paths = generate_paths(&cfg);

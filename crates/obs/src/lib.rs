@@ -43,6 +43,8 @@
 //! The first telemetry call auto-initialises from the environment;
 //! [`init`] / [`init_from_env`] make it explicit (and are idempotent).
 
+/// The single audited wall-clock read point for non-obs crates.
+pub mod clock;
 /// Run manifests: provenance capture for experiment binaries.
 pub mod manifest;
 /// Counters, gauges (level/peak), histograms, snapshots, and merge.

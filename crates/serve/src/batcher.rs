@@ -13,7 +13,6 @@ use crate::queue::QueuedRequest;
 use crate::registry::ModelRegistry;
 use crate::{validate_request, DecideResponse, ServeError};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// Executes one drained batch.
 ///
@@ -28,7 +27,7 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
     // Stage boundary shared by every job in this drain: time spent before
     // this point is queue wait, time until the batch tensors are built is
     // assembly. Sampled jobs report these as child spans of their request.
-    let drained_at = Instant::now();
+    let drained_at = ppn_obs::clock::now();
     let mut groups: BTreeMap<String, Vec<QueuedRequest>> = BTreeMap::new();
     for job in jobs {
         groups.entry(job.request.model.clone()).or_default().push(job);
@@ -60,12 +59,12 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
         let prevs: Vec<Vec<f64>> = valid.iter().map(|j| j.request.prev_action.clone()).collect();
         let batch_size = valid.len();
         batch_hist.observe(batch_size as f64);
-        let assembled_at = Instant::now();
+        let assembled_at = ppn_obs::clock::now();
         let outputs = {
             let _span = ppn_obs::span!("serve.forward");
             net.act_batch(&windows, &prevs)
         };
-        let forwarded_at = Instant::now();
+        let forwarded_at = ppn_obs::clock::now();
         for job in &valid {
             job.trace.emit_span("serve.queue_wait", job.enqueued_at, drained_at);
             job.trace.emit_span("serve.batch_assemble", drained_at, assembled_at);

@@ -18,7 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -251,7 +251,7 @@ fn handle_decide(
     // queue-wait / assemble / forward stage spans to the same trace.
     let root = TraceSpan::root("serve.request");
     let trace = root.context();
-    let started = Instant::now();
+    let started = ppn_obs::clock::now();
     let (tx, rx) = mpsc::channel();
     queue.push(QueuedRequest { request: parsed, reply: tx, enqueued_at: started, trace });
     let outcome = rx.recv_timeout(timeout);

@@ -399,7 +399,7 @@ pub(crate) const KERNEL_MS_BUCKETS: [f64; 9] = [0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 
 /// Starts a wall-clock timer when the metrics registry is live; `None`
 /// keeps the disabled path free of even the `Instant::now` call.
 pub(crate) fn kernel_timer() -> Option<std::time::Instant> {
-    ppn_obs::metrics_enabled().then(std::time::Instant::now)
+    ppn_obs::metrics_enabled().then(ppn_obs::clock::now)
 }
 
 /// Records a kernel duration (in ms) into the named `ppn_obs` histogram.
