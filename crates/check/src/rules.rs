@@ -537,9 +537,11 @@ const THREAD_SPAWN_PATTERNS: [(&str, &str); 3] = [
 ];
 
 /// The only modules allowed to call thread-spawning constructs: the worker
-/// pool itself, the ppn-serve listener/accept loop (a server must hold
-/// one thread per live connection plus the batcher — work it *dispatches*
-/// still runs on the pool), and the one-thread ppn-obs stats endpoint.
+/// pool itself, the ppn-serve event-loop module (exactly two threads per
+/// server — the epoll loop and the batcher, never per-connection — work it
+/// *dispatches* still runs on the pool), and the one-thread ppn-obs stats
+/// endpoint. The serve HTTP/queue modules stay spawn-free by design; keep
+/// them off this list so a per-connection-thread regression is caught.
 const THREAD_ALLOWED_FILES: [&str; 3] =
     ["crates/tensor/src/par.rs", "crates/serve/src/server.rs", "crates/obs/src/stats.rs"];
 
@@ -632,17 +634,24 @@ mod tests {
         let src = "pub fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n    thread::Builder::new();\n    std::thread::sleep(d);\n    let n = std::thread::available_parallelism();\n}";
         let f = lib(src);
         assert_eq!(check_no_thread(&f).len(), 3, "sleep/available_parallelism are not spawns");
-        // The allowlisted spawners: the pool, the serve listener, and the
-        // obs stats endpoint.
+        // The allowlisted spawners: the pool, the serve event-loop module,
+        // and the obs stats endpoint.
         let par = SourceFile::scan("crates/tensor/src/par.rs", "ppn-tensor", Role::Lib, src);
         assert!(check_no_thread(&par).is_empty());
         let srv = SourceFile::scan("crates/serve/src/server.rs", "ppn-serve", Role::Lib, src);
         assert!(check_no_thread(&srv).is_empty());
         let stats = SourceFile::scan("crates/obs/src/stats.rs", "ppn-obs", Role::Lib, src);
         assert!(check_no_thread(&stats).is_empty());
-        // Other ppn-serve modules stay under the rule.
+        // Other ppn-serve modules stay under the rule — the event-driven
+        // design means no per-connection threads, so a spawn appearing in
+        // the HTTP state machine or the queue is a regression, not a need
+        // for a wider allowlist.
         let other = SourceFile::scan("crates/serve/src/queue.rs", "ppn-serve", Role::Lib, src);
         assert_eq!(check_no_thread(&other).len(), 3);
+        let conn = SourceFile::scan("crates/serve/src/http.rs", "ppn-serve", Role::Lib, src);
+        assert_eq!(check_no_thread(&conn).len(), 3, "http.rs must never spawn");
+        let bat = SourceFile::scan("crates/serve/src/batcher.rs", "ppn-serve", Role::Lib, src);
+        assert_eq!(check_no_thread(&bat).len(), 3, "batcher.rs computes, server.rs spawns");
         // Third-party shims are out of scope.
         let shim = SourceFile::scan("crates/rand/src/x.rs", "rand", Role::Lib, src);
         assert!(check_no_thread(&shim).is_empty());

@@ -1,0 +1,475 @@
+//! Vendored shim for the subset of `mio` this workspace uses: a readiness
+//! facade over Linux `epoll(7)`, reached through `std::os::fd` raw handles.
+//!
+//! The build environment is offline, so the real `mio` crate is not
+//! available; this shim implements exactly the surface `ppn-serve`'s
+//! event loop needs — [`Poll`] (an epoll instance), [`Events`] (a reusable
+//! readiness buffer), [`Token`]/[`Interest`] (registration coordinates),
+//! and [`Waker`] (a cross-thread wakeup source built on a non-blocking
+//! `UnixStream` pair, so the only foreign functions required are the three
+//! `epoll_*` calls themselves). Swap the workspace `path` dependency back
+//! to the registry `mio` to use the real crate.
+//!
+//! Readiness is **level-triggered** (`EPOLLIN`/`EPOLLOUT` without
+//! `EPOLLET`): an event keeps firing while the condition holds, so
+//! consumers must either drain the fd to `WouldBlock` or deregister the
+//! interest. This matches the simplest correct consumption pattern for a
+//! per-connection state machine and avoids the lost-wakeup hazards of
+//! edge-triggered loops.
+//!
+//! On non-Linux targets the crate still compiles, but [`Poll::new`]
+//! returns `ErrorKind::Unsupported` — the serving stack is Linux-only by
+//! design (the deployment target), while the rest of the workspace stays
+//! portable.
+
+use std::io;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration; readiness events
+/// report the token of the fd they concern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness conditions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable readiness (`EPOLLIN`).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)` subscribes to both).
+    /// Named after the real `mio::Interest::add`, not `std::ops::Add`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True when this interest includes readable readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// True when this interest includes writable readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    closed: bool,
+}
+
+impl Event {
+    /// The registration token of the fd this event concerns.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// True when the fd is ready for reading (includes EOF/hangup, which a
+    /// subsequent `read` surfaces as `Ok(0)`).
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.closed
+    }
+
+    /// True when the fd is ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// True when the peer hung up or the fd errored (`EPOLLHUP` /
+    /// `EPOLLRDHUP` / `EPOLLERR`).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// Reusable buffer of readiness events; fill it with [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An empty buffer that will receive at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates the events delivered by the most recent poll.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.inner.iter()
+    }
+
+    /// True when the most recent poll delivered no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of events delivered by the most recent poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! The Linux implementation: raw `epoll_*` FFI against the libc that
+    //! `std` already links. `epoll_event` is packed on x86-64 (kernel ABI).
+
+    use super::{Event, Events, Interest, Token};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    /// An epoll instance; closed on drop via `OwnedFd`.
+    #[derive(Debug)]
+    pub struct Selector {
+        ep: OwnedFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            // SAFETY: epoll_create1 has no pointer arguments; a non-negative
+            // return is a freshly created fd this process owns.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: `fd` was just returned by epoll_create1 and is owned
+            // by nobody else.
+            Ok(Selector { ep: unsafe { OwnedFd::from_raw_fd(fd) } })
+        }
+
+        fn ctl(
+            &self,
+            op: c_int,
+            fd: RawFd,
+            interests: Option<(Token, Interest)>,
+        ) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            if let Some((token, interest)) = interests {
+                ev.data = token.0 as u64;
+                if interest.is_readable() {
+                    ev.events |= EPOLLIN | EPOLLRDHUP;
+                }
+                if interest.is_writable() {
+                    ev.events |= EPOLLOUT;
+                }
+            }
+            // SAFETY: `ev` outlives the call; the kernel copies it before
+            // returning. `fd` validity is the caller's registration contract.
+            let rc = unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some((token, interest)))
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some((token, interest)))
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let timeout_ms: c_int = match timeout {
+                // Round up so a 100µs request sleeps 1ms instead of busy
+                // spinning at 0ms.
+                Some(d) => {
+                    let ms = d.as_millis();
+                    let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                    c_int::try_from(ms).unwrap_or(c_int::MAX)
+                }
+                None => -1,
+            };
+            let cap = events.capacity;
+            let mut raw = vec![EpollEvent { events: 0, data: 0 }; cap];
+            // SAFETY: `raw` provides `cap` writable EpollEvent slots; the
+            // kernel writes at most `cap` entries and returns the count.
+            let n = unsafe {
+                epoll_wait(self.ep.as_raw_fd(), raw.as_mut_ptr(), cap as c_int, timeout_ms)
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                // A signal interrupting the wait is a spurious (empty) wake,
+                // not a failure.
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for slot in raw.iter().take(n as usize) {
+                let bits = slot.events;
+                events.inner.push(Event {
+                    token: Token(slot.data as usize),
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Non-Linux stub: compiles everywhere, reports `Unsupported` at
+    //! runtime so portable code paths can degrade gracefully.
+
+    use super::{Events, Interest, Token};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(io::ErrorKind::Unsupported, "epoll readiness requires Linux")
+    }
+
+    /// Stub selector (non-Linux).
+    #[derive(Debug)]
+    pub struct Selector;
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Err(unsupported())
+        }
+
+        pub fn register(&self, _: RawFd, _: Token, _: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn reregister(&self, _: RawFd, _: Token, _: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn deregister(&self, _: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn poll(&self, _: &mut Events, _: Option<Duration>) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+}
+
+/// An OS readiness selector (an `epoll(7)` instance on Linux).
+///
+/// Registration and polling take `&self` — epoll is thread-safe — but the
+/// intended pattern is one owning event-loop thread with [`Waker`]s as the
+/// only cross-thread entry point.
+#[derive(Debug)]
+pub struct Poll {
+    selector: sys::Selector,
+}
+
+impl Poll {
+    /// Creates a new selector.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll { selector: sys::Selector::new()? })
+    }
+
+    /// Subscribes `source` to `interest`, tagging its events with `token`.
+    pub fn register<S: std::os::fd::AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.selector.register(source.as_raw_fd(), token, interest)
+    }
+
+    /// Replaces the interest/token of an already-registered `source`.
+    pub fn reregister<S: std::os::fd::AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.selector.reregister(source.as_raw_fd(), token, interest)
+    }
+
+    /// Removes `source` from the selector.
+    pub fn deregister<S: std::os::fd::AsRawFd>(&self, source: &S) -> io::Result<()> {
+        self.selector.deregister(source.as_raw_fd())
+    }
+
+    /// Blocks until at least one registered fd is ready, the `timeout`
+    /// elapses (`None` waits forever), or a signal interrupts the wait
+    /// (delivered as an empty event set). Events land in `events`.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.selector.poll(events, timeout)
+    }
+}
+
+/// Cross-thread wakeup source: `wake()` from any thread makes the owning
+/// [`Poll`]'s current (or next) [`Poll::poll`] call return with an event
+/// carrying the waker's token.
+///
+/// Built on a non-blocking `UnixStream` pair: the read end is registered
+/// with the selector, `wake` writes one byte to the write end. Wakes
+/// coalesce — a full pipe means a wake is already pending, which is exactly
+/// the semantics wanted. Unlike real `mio`, the consumer must call
+/// [`Waker::drain`] when it sees the waker's token, or (level-triggered)
+/// the event repeats.
+#[derive(Debug)]
+pub struct Waker {
+    read: std::os::unix::net::UnixStream,
+    write: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    /// Creates the pair and registers the read end with `poll` under
+    /// `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let (read, write) = std::os::unix::net::UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        poll.register(&read, token, Interest::READABLE)?;
+        Ok(Waker { read, write })
+    }
+
+    /// Signals the poller. Never blocks; a full pipe (wake already pending)
+    /// counts as success.
+    pub fn wake(&self) -> io::Result<()> {
+        use std::io::Write;
+        match (&self.write).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes all pending wake bytes; call when the waker's token shows
+    /// up in an event so the level-triggered readiness clears.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.read).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn listener_readiness_and_waker_roundtrip() {
+        let poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poll.register(&listener, Token(0), Interest::READABLE).unwrap();
+        let waker = Waker::new(&poll, Token(1)).unwrap();
+
+        // Nothing ready yet: a short poll times out empty.
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+
+        // A pending connection raises READABLE on the listener token.
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(0) && e.is_readable()));
+
+        // The waker raises its own token, and drain() clears it.
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(1)));
+        waker.drain();
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.iter().all(|e| e.token() != Token(1)), "drained waker must go quiet");
+
+        // Accepted stream: WRITABLE immediately, readable once bytes land.
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poll.register(&server_side, Token(2), Interest::READABLE.add(Interest::WRITABLE)).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(2) && e.is_writable()));
+
+        (&client).write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(2) && e.is_readable()));
+        let mut buf = [0u8; 8];
+        assert_eq!(server_side.read(&mut buf).unwrap(), 4);
+
+        // Reregister down to WRITABLE-only: new bytes no longer wake us...
+        poll.reregister(&server_side, Token(2), Interest::WRITABLE).unwrap();
+        // ...and deregistration silences the fd entirely.
+        poll.deregister(&server_side).unwrap();
+        (&client).write_all(b"more").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.iter().all(|e| e.token() != Token(2)));
+    }
+
+    #[test]
+    fn hangup_reports_closed() {
+        let poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poll.register(&server_side, Token(7), Interest::READABLE).unwrap();
+        drop(client);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(500))).unwrap();
+        let ev = events.iter().find(|e| e.token() == Token(7)).expect("hangup event");
+        assert!(ev.is_closed());
+        assert!(ev.is_readable(), "EOF must be surfaced as readable so reads observe Ok(0)");
+    }
+}

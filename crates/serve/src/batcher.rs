@@ -20,7 +20,18 @@ use std::collections::BTreeMap;
 /// order), validated against the model's input contract, and decided with a
 /// single batched forward pass per group. Invalid or unroutable requests
 /// receive their error without poisoning the rest of the batch.
-pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
+pub fn process_batch(registry: &ModelRegistry, mut jobs: Vec<QueuedRequest>) {
+    // Jobs whose reply slot lost its receiver (client hung up, request
+    // already answered 504) are dropped *before* the forward pass — no
+    // compute is spent on an answer nobody will read.
+    jobs.retain(|job| {
+        if job.reply.is_disconnected() {
+            crate::metrics::cancelled().inc();
+            false
+        } else {
+            true
+        }
+    });
     if jobs.is_empty() {
         return;
     }
@@ -38,7 +49,7 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
         let Some(net) = registry.get(&model) else {
             for job in group {
                 errors.inc();
-                let _ = job.reply.send(Err(ServeError::UnknownModel(model.clone())));
+                job.reply.send(Err(ServeError::UnknownModel(model.clone())));
             }
             continue;
         };
@@ -48,7 +59,7 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
                 Ok(()) => valid.push(job),
                 Err(e) => {
                     errors.inc();
-                    let _ = job.reply.send(Err(e));
+                    job.reply.send(Err(e));
                 }
             }
         }
@@ -71,8 +82,7 @@ pub fn process_batch(registry: &ModelRegistry, jobs: Vec<QueuedRequest>) {
             job.trace.emit_span("serve.forward", assembled_at, forwarded_at);
         }
         for (job, weights) in valid.into_iter().zip(outputs) {
-            let _ =
-                job.reply.send(Ok(DecideResponse { model: model.clone(), weights, batch_size }));
+            job.reply.send(Ok(DecideResponse { model: model.clone(), weights, batch_size }));
         }
     }
 }

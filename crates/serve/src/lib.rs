@@ -9,14 +9,26 @@
 //! ## Architecture
 //!
 //! ```text
-//! client ──POST /decide──▶ connection handler ──▶ RequestQueue ─┐
-//! client ──POST /decide──▶ connection handler ──▶      │        │ drain(≤max_batch)
-//!                                                      ▼        ▼
-//!                                              batcher thread ── act_batch (one
-//!                                                      │         forward pass on the
-//!                                                      │         ppn_tensor::par pool)
-//! client ◀─── JSON weights ◀── reply channels ◀────────┘
+//!                 ┌────────────── event-loop thread (epoll) ──────────────┐
+//! client ──TCP──▶ │ accept (≤max_conns, else 503)                        │
+//! client ──TCP──▶ │ per-conn state machines: keep-alive + pipelining,    │
+//!                 │ read/write deadlines, idle reaping                   │
+//!                 │   POST /decide ──▶ bounded RequestQueue ── full? 429 │
+//!                 └──────────────────────────│───────────────────────────┘
+//!                                            │ drain(≤max_batch) + condvar wake
+//!                                            ▼
+//!                                     batcher thread ── act_batch (one forward
+//!                                            │          pass on the ppn_tensor::par
+//!                                            │          pool; disconnected jobs
+//!                                            │          skipped pre-forward)
+//! client ◀── ordered pipelined responses ◀───┘  (one-shot reply slots + waker)
 //! ```
+//!
+//! Exactly **two** threads per server regardless of connection count: the
+//! epoll event loop (via the vendored `mio` readiness shim) and the
+//! batcher. Overload degrades by *shedding* — a full decision queue
+//! answers `429 Too Many Requests` with `Retry-After`, a full connection
+//! table answers `503` — never by unbounded queueing.
 //!
 //! Concurrent requests that arrive within a batching window are coalesced
 //! into **one** batched forward pass ([`ppn_core::ppn::PolicyNet::act_batch`]).
@@ -28,10 +40,11 @@
 //!
 //! Models come from [`ppn_core::persist`] checkpoints via the
 //! [`registry::ModelRegistry`]; telemetry (request counter, queue-depth
-//! gauges, `serve.latency_ms` / `serve.batch_size` histograms) flows through
-//! `ppn-obs`. The HTTP layer speaks minimal HTTP/1.1 over
-//! `std::net::TcpListener` — the workspace is offline, so no external
-//! server stack is used.
+//! gauges, `serve.shed` / `serve.cancelled` counters, `serve.latency_ms` /
+//! `serve.batch_size` histograms) flows through `ppn-obs`. The HTTP layer
+//! speaks minimal HTTP/1.1 over non-blocking `std::net` sockets driven by
+//! an epoll readiness loop — the workspace is offline, so no external
+//! server stack is used (readiness comes from the vendored `mio` shim).
 //!
 //! When request tracing is sampled in (`PPN_TRACE_SAMPLE=1/N`), each
 //! `/decide` request carries a `ppn_obs::TraceContext` from its
@@ -51,13 +64,13 @@
 
 /// Micro-batch execution over drained request groups.
 pub mod batcher;
-/// Minimal HTTP/1.1 framing (server side + one-shot client helper).
+/// HTTP/1.1 framing, the per-connection state machine, blocking clients.
 pub mod http;
-/// The FIFO connecting connection handlers to the batcher.
+/// Bounded decision queue and one-shot reply slots.
 pub mod queue;
 /// Checkpoint-backed collection of live models.
 pub mod registry;
-/// Listener, connection handling, batcher thread, graceful shutdown.
+/// The epoll event loop, batcher thread, and graceful shutdown.
 pub mod server;
 
 pub use registry::ModelRegistry;
@@ -169,7 +182,7 @@ pub fn error_json(msg: &str) -> String {
     s.finish()
 }
 
-/// The server's `ppn-obs` instruments, shared by the handler threads, the
+/// The server's `ppn-obs` instruments, shared by the event loop, the
 /// batcher, and `serve_probe` (handles are process-global by name).
 pub mod metrics {
     /// Batch-size histogram bounds.
@@ -183,6 +196,24 @@ pub mod metrics {
     /// Requests that ended in an error response.
     pub fn errors() -> ppn_obs::metrics::Counter {
         ppn_obs::counter("serve.errors")
+    }
+
+    /// Work refused by admission control: `429` queue-full sheds and `503`
+    /// connection-limit refusals.
+    pub fn shed() -> ppn_obs::metrics::Counter {
+        ppn_obs::counter("serve.shed")
+    }
+
+    /// Queued jobs skipped by the batcher because their reply slot was
+    /// already abandoned (client gone / request timed out) — forward-pass
+    /// compute saved.
+    pub fn cancelled() -> ppn_obs::metrics::Counter {
+        ppn_obs::counter("serve.cancelled")
+    }
+
+    /// Currently open client connections (level gauge).
+    pub fn connections() -> ppn_obs::metrics::Gauge {
+        ppn_obs::gauge("serve.connections")
     }
 
     /// Current decision-queue depth (level gauge: last-written value).

@@ -8,6 +8,11 @@
 //! (untrained) demo PPN-LSTM under the name `demo`, so the HTTP surface can
 //! be exercised without a training run. Press Enter (or send EOF + SIGTERM)
 //! to stop; an interactive Enter performs a graceful shutdown.
+//!
+//! Admission control is tuned through the environment:
+//! `PPN_SERVE_QUEUE_CAP` (bounded decision queue, overflow sheds with 429),
+//! `PPN_SERVE_MAX_CONNS` (connection limit, overflow refused with 503), and
+//! `PPN_SERVE_IDLE_MS` (idle keep-alive reap timeout).
 #![forbid(unsafe_code)]
 
 use ppn_core::config::NetConfig;
@@ -17,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn parse_args() -> Result<(ServeConfig, Vec<(String, String)>), String> {
-    let mut cfg = ServeConfig::default();
+    let mut cfg = ServeConfig::from_env();
     let mut models = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {

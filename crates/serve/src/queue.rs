@@ -1,17 +1,66 @@
-//! The decision queue: connection handlers push parsed requests with a
-//! reply channel; the batcher drains up to `max_batch` of them at a time.
-//! Depth is mirrored into the `serve.queue_depth` level gauge on every
-//! mutation, and its high-water mark into `serve.queue_depth_peak`.
+//! The admission-controlled decision queue plus the one-shot reply slots
+//! that carry outcomes back to the event loop.
+//!
+//! The queue is **bounded** ([`RequestQueue::try_push`] refuses when full,
+//! which the server answers with `429 Too Many Requests`) so overload
+//! degrades by shedding instead of by unbounded memory growth and
+//! ever-worsening latency. Depth is mirrored into the `serve.queue_depth`
+//! level gauge on every mutation, its high-water mark into
+//! `serve.queue_depth_peak`, and a condvar wakes the batcher the moment
+//! work arrives — no sleep-poll on the hot path.
 
 use crate::{DecideRequest, DecideResponse, ServeError};
 use parking_lot::Mutex;
 use ppn_obs::TraceContext;
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, PoisonError};
+use std::time::{Duration, Instant};
 
-/// Reply channel carrying one decision outcome back to its handler.
-pub type ReplySender = mpsc::Sender<Result<DecideResponse, ServeError>>;
+/// One decision outcome: the response, or why it was refused.
+pub type Outcome = Result<DecideResponse, ServeError>;
+
+/// Producer half of a one-shot reply slot; consumed by [`ReplySender::send`].
+///
+/// The batcher holds this; [`ReplySender::is_disconnected`] is true once the
+/// matching [`ReplyReceiver`] was dropped (client gone, request timed out),
+/// letting the batcher skip the job *before* paying for a forward pass.
+pub struct ReplySender {
+    slot: Arc<Mutex<Option<Outcome>>>,
+}
+
+/// Consumer half of a one-shot reply slot, owned by the connection state
+/// machine; dropping it cancels the in-flight job.
+pub struct ReplyReceiver {
+    slot: Arc<Mutex<Option<Outcome>>>,
+}
+
+/// Creates a connected one-shot reply pair.
+pub fn reply_pair() -> (ReplySender, ReplyReceiver) {
+    let slot = Arc::new(Mutex::new(None));
+    (ReplySender { slot: Arc::clone(&slot) }, ReplyReceiver { slot })
+}
+
+impl ReplySender {
+    /// Delivers the outcome (consuming the sender). Delivery into a slot
+    /// whose receiver is already gone is harmless.
+    pub fn send(self, outcome: Outcome) {
+        *self.slot.lock() = Some(outcome);
+    }
+
+    /// True when the receiving side no longer exists, i.e. nobody will ever
+    /// read an outcome written here. Conservative under races: a receiver
+    /// dropped concurrently may still read as connected for one batch.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.slot) < 2
+    }
+}
+
+impl ReplyReceiver {
+    /// Takes the outcome if the batcher has delivered one.
+    pub fn try_take(&self) -> Option<Outcome> {
+        self.slot.lock().take()
+    }
+}
 
 /// One decision request waiting for a batched forward pass.
 pub struct QueuedRequest {
@@ -27,30 +76,42 @@ pub struct QueuedRequest {
     pub trace: TraceContext,
 }
 
-/// Lock-protected FIFO between the connection handlers and the batcher.
+/// Bounded lock-protected FIFO between the event loop and the batcher.
 pub struct RequestQueue {
     jobs: Mutex<VecDeque<QueuedRequest>>,
+    cap: usize,
+    ready: Condvar,
     depth: ppn_obs::metrics::Gauge,
     depth_peak: ppn_obs::metrics::Gauge,
 }
 
 impl RequestQueue {
-    /// Empty queue; registers the `serve.queue_depth` level gauge and the
-    /// `serve.queue_depth_peak` high-water gauge.
-    pub fn new() -> Self {
+    /// Empty queue admitting at most `cap` waiting requests; registers the
+    /// `serve.queue_depth` level gauge and the `serve.queue_depth_peak`
+    /// high-water gauge.
+    pub fn new(cap: usize) -> Self {
         RequestQueue {
             jobs: Mutex::new(VecDeque::new()),
+            cap,
+            ready: Condvar::new(),
             depth: crate::metrics::queue_depth(),
             depth_peak: crate::metrics::queue_depth_peak(),
         }
     }
 
-    /// Appends a request.
-    pub fn push(&self, job: QueuedRequest) {
+    /// Appends a request and wakes the batcher, or returns the request
+    /// untouched when the queue is at capacity (the caller sheds it).
+    pub fn try_push(&self, job: QueuedRequest) -> Result<(), QueuedRequest> {
         let mut q = self.jobs.lock();
+        if q.len() >= self.cap {
+            return Err(job);
+        }
         q.push_back(job);
         self.depth.set(q.len() as f64);
         self.depth_peak.set(q.len() as f64);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
     }
 
     /// Removes and returns up to `max` requests from the front.
@@ -60,6 +121,30 @@ impl RequestQueue {
         let out: Vec<QueuedRequest> = q.drain(..n).collect();
         self.depth.set(q.len() as f64);
         out
+    }
+
+    /// Blocks until the queue is (probably) non-empty or `timeout` elapses;
+    /// returns whether work was visible at wakeup. The batcher uses the
+    /// timeout slice to re-check its stop flag, so spurious wakes are fine.
+    pub fn wait_nonempty(&self, timeout: Duration) -> bool {
+        let q = self.jobs.lock();
+        if !q.is_empty() {
+            return true;
+        }
+        let (q, _timed_out) =
+            self.ready.wait_timeout(q, timeout).unwrap_or_else(PoisonError::into_inner);
+        !q.is_empty()
+    }
+
+    /// Wakes every waiter regardless of queue state (used at shutdown so
+    /// the batcher re-checks its stop flag immediately).
+    pub fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+
+    /// Maximum number of waiting requests this queue admits.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Number of waiting requests.
@@ -73,8 +158,72 @@ impl RequestQueue {
     }
 }
 
-impl Default for RequestQueue {
-    fn default() -> Self {
-        RequestQueue::new()
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_request() -> DecideRequest {
+        DecideRequest { model: "m".to_string(), window: vec![1.0], prev_action: vec![1.0] }
+    }
+
+    fn dummy_job() -> (QueuedRequest, ReplyReceiver) {
+        let (tx, rx) = reply_pair();
+        let job = QueuedRequest {
+            request: dummy_request(),
+            reply: tx,
+            enqueued_at: ppn_obs::clock::now(),
+            trace: TraceContext::inert(),
+        };
+        (job, rx)
+    }
+
+    #[test]
+    fn try_push_refuses_beyond_capacity() {
+        let q = RequestQueue::new(2);
+        let mut rxs = Vec::new();
+        for _ in 0..2 {
+            let (job, rx) = dummy_job();
+            assert!(q.try_push(job).is_ok());
+            rxs.push(rx);
+        }
+        let (job, _rx) = dummy_job();
+        let back = q.try_push(job).expect_err("third push must be refused at cap 2");
+        assert_eq!(back.request.model, "m");
+        assert_eq!(q.len(), 2);
+        // Draining frees capacity again.
+        assert_eq!(q.drain(1).len(), 1);
+        let (job, _rx2) = dummy_job();
+        assert!(q.try_push(job).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = RequestQueue::new(0);
+        let (job, _rx) = dummy_job();
+        assert!(q.try_push(job).is_err());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reply_slot_roundtrip_and_disconnect() {
+        let (tx, rx) = reply_pair();
+        assert!(!tx.is_disconnected());
+        assert!(rx.try_take().is_none());
+        tx.send(Err(ServeError::ShuttingDown));
+        assert!(matches!(rx.try_take(), Some(Err(ServeError::ShuttingDown))));
+        assert!(rx.try_take().is_none(), "one-shot: a second take sees nothing");
+
+        let (tx, rx) = reply_pair();
+        drop(rx);
+        assert!(tx.is_disconnected(), "dropping the receiver must mark the sender disconnected");
+    }
+
+    #[test]
+    fn wait_nonempty_sees_pushed_work() {
+        let q = RequestQueue::new(4);
+        assert!(!q.wait_nonempty(Duration::from_millis(1)), "empty queue times out");
+        let (job, _rx) = dummy_job();
+        q.try_push(job).ok();
+        assert!(q.wait_nonempty(Duration::from_millis(1)));
     }
 }

@@ -1,24 +1,35 @@
-//! Listener, connection handling, the batcher thread, and graceful
-//! shutdown. This is the **only** ppn-serve module sanctioned to spawn
-//! threads (enforced by the ppn-check `no-thread` allowlist): the accept
-//! loop, one handler thread per live connection, and the batcher. The
-//! batched forward passes the batcher dispatches still run on the
-//! `ppn_tensor::par` worker pool via the tensor kernels, so `PPN_THREADS`
-//! keeps governing compute parallelism.
+//! The event-driven serving core: a single epoll loop (readiness via the
+//! vendored `mio` shim) owning the listener and every connection state
+//! machine, plus the batcher thread. This is the **only** ppn-serve module
+//! sanctioned to spawn threads (enforced by the ppn-check `no-thread`
+//! allowlist): exactly two per server — the event loop and the batcher —
+//! regardless of connection count. The batched forward passes the batcher
+//! dispatches still run on the `ppn_tensor::par` worker pool via the
+//! tensor kernels, so `PPN_THREADS` keeps governing compute parallelism.
+//!
+//! Admission control happens at two layers: the accept path refuses
+//! connections beyond `max_conns` (best-effort `503`), and `/decide`
+//! requests that find the bounded [`RequestQueue`] full are shed with
+//! `429 Too Many Requests` + `Retry-After` instead of queueing without
+//! bound. Connections are keep-alive with pipelining; idle connections are
+//! reaped after `idle_timeout`, half-fed requests after `read_timeout`, so
+//! shutdown is bounded even with slow-loris peers attached.
 
 use crate::batcher::process_batch;
-use crate::http::{read_request, write_response, write_response_typed, HttpRequest};
-use crate::queue::{QueuedRequest, RequestQueue};
+use crate::http::{format_response, Conn, HttpRequest};
+use crate::queue::{reply_pair, QueuedRequest, RequestQueue};
 use crate::registry::ModelRegistry;
 use crate::{error_json, metrics, DecideRequest};
-use ppn_obs::TraceSpan;
+use mio::{Events, Interest, Poll, Token, Waker};
+use ppn_obs::{clock, TraceSpan};
 use serde::Serialize;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -27,14 +38,26 @@ pub struct ServeConfig {
     pub addr: String,
     /// Largest forward-pass batch the batcher will assemble.
     pub max_batch: usize,
-    /// How long the batcher sleeps when the queue is empty.
+    /// Batcher stop-flag recheck slice while waiting on the queue condvar.
     pub poll_interval: Duration,
     /// Extra wait after the first drained request of a batch, letting
     /// concurrent requests coalesce into the same forward pass.
     pub gather_window: Duration,
-    /// How long a connection handler waits for its decision before
-    /// answering 504.
+    /// How long a queued decision may stay unanswered before its slot
+    /// resolves to `504` (and the batcher job is cancelled).
     pub request_timeout: Duration,
+    /// Bounded decision-queue capacity; overflow is shed with `429`
+    /// (`PPN_SERVE_QUEUE_CAP`).
+    pub queue_cap: usize,
+    /// Most concurrent connections admitted; beyond it, accepts are
+    /// refused with a best-effort `503` (`PPN_SERVE_MAX_CONNS`).
+    pub max_conns: usize,
+    /// Idle keep-alive connections are reaped after this long
+    /// (`PPN_SERVE_IDLE_MS`).
+    pub idle_timeout: Duration,
+    /// A request arriving in fragments for longer than this is answered
+    /// `408` and the connection closed (slow-loris guard).
+    pub read_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -42,48 +65,96 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             max_batch: 32,
-            poll_interval: Duration::from_micros(100),
+            poll_interval: Duration::from_millis(5),
             gather_window: Duration::from_micros(300),
             request_timeout: Duration::from_secs(10),
+            queue_cap: 1024,
+            max_conns: 1024,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(5),
         }
     }
 }
 
+impl ServeConfig {
+    /// Defaults with the `PPN_SERVE_*` environment overrides applied
+    /// (unparseable values fall back to the default silently — serving
+    /// must not fail to start over a typo'd knob).
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(cap) = parse_env(std::env::var("PPN_SERVE_QUEUE_CAP").ok()) {
+            cfg.queue_cap = cap;
+        }
+        if let Some(n) = parse_env(std::env::var("PPN_SERVE_MAX_CONNS").ok()) {
+            cfg.max_conns = n;
+        }
+        if let Some(ms) = parse_env(std::env::var("PPN_SERVE_IDLE_MS").ok()) {
+            cfg.idle_timeout = Duration::from_millis(ms);
+        }
+        cfg
+    }
+}
+
+fn parse_env<T: std::str::FromStr>(raw: Option<String>) -> Option<T> {
+    raw.and_then(|s| s.trim().parse().ok())
+}
+
+/// Event-loop poll tick: the upper bound on how stale a deadline check
+/// (504 / 408 / idle reap) can be. Readiness and batch completions wake
+/// the loop immediately; only deadline granularity rides on this.
+const TICK: Duration = Duration::from_millis(25);
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+const FIRST_CONN: usize = 2;
+
 /// A running inference server.
 ///
 /// [`Server::shutdown`] (or dropping the handle) stops accepting, lets
-/// in-flight connections finish, drains the decision queue, and joins every
-/// thread — no request that reached the queue is dropped.
+/// in-flight decisions finish (bounded by `request_timeout`), closes every
+/// connection — idle ones immediately — drains the decision queue, and
+/// joins both threads.
 pub struct Server {
     addr: SocketAddr,
-    stop_accept: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
     stop_batcher: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    queue: Arc<RequestQueue>,
+    event_loop: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `cfg.addr`, spawns the accept loop and the batcher thread, and
+    /// Binds `cfg.addr`, spawns the event loop and the batcher thread, and
     /// returns immediately.
     pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(registry);
-        let queue = Arc::new(RequestQueue::new());
-        let stop_accept = Arc::new(AtomicBool::new(false));
-        let stop_batcher = Arc::new(AtomicBool::new(false));
         // Touch every instrument up front so /metrics and shutdown
         // snapshots expose them even before the first request.
         metrics::requests();
         metrics::errors();
+        metrics::shed();
+        metrics::cancelled();
         metrics::latency_ms();
         metrics::batch_size();
         metrics::queue_depth_peak();
+        metrics::connections();
+        let queue = Arc::new(RequestQueue::new(cfg.queue_cap));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_batcher = Arc::new(AtomicBool::new(false));
+
+        let poll = Poll::new()?;
+        poll.register(&listener, LISTENER, Interest::READABLE)?;
+        let waker = Arc::new(Waker::new(&poll, WAKER)?);
 
         let batcher = {
             let registry = Arc::clone(&registry);
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop_batcher);
+            let waker = Arc::clone(&waker);
             let cfg = cfg.clone();
             std::thread::spawn(move || loop {
                 let mut jobs = queue.drain(cfg.max_batch);
@@ -93,7 +164,9 @@ impl Server {
                             break;
                         }
                     } else {
-                        std::thread::sleep(cfg.poll_interval);
+                        // Condvar-notified: wakes the instant work arrives;
+                        // the timeout slice only bounds stop-flag latency.
+                        queue.wait_nonempty(cfg.poll_interval.max(Duration::from_millis(1)));
                     }
                     continue;
                 }
@@ -104,37 +177,32 @@ impl Server {
                     jobs.extend(queue.drain(cfg.max_batch - jobs.len()));
                 }
                 process_batch(&registry, jobs);
+                // Outcomes are in their reply slots: poke the event loop so
+                // it writes responses now rather than at the next tick.
+                let _ = waker.wake();
             })
         };
 
-        let accept = {
+        let event_loop = {
             let registry = Arc::clone(&registry);
             let queue = Arc::clone(&queue);
-            let stop = Arc::clone(&stop_accept);
-            let timeout = cfg.request_timeout;
+            let stop = Arc::clone(&stop);
+            let waker = Arc::clone(&waker);
+            let cfg = cfg.clone();
             std::thread::spawn(move || {
-                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let registry = Arc::clone(&registry);
-                    let queue = Arc::clone(&queue);
-                    handlers.push(std::thread::spawn(move || {
-                        handle_connection(stream, &registry, &queue, timeout);
-                    }));
-                    // Reap finished handlers so long-lived servers don't
-                    // accumulate join handles.
-                    handlers.retain(|h| !h.is_finished());
-                }
-                for h in handlers {
-                    let _ = h.join();
-                }
+                run_event_loop(poll, listener, &waker, &registry, &queue, &cfg, &stop);
             })
         };
-        ppn_obs::obs_info!("serve: listening on {addr}");
-        Ok(Server { addr, stop_accept, stop_batcher, accept: Some(accept), batcher: Some(batcher) })
+        ppn_obs::obs_info!("serve: listening on {addr} (event loop, queue cap {})", cfg.queue_cap);
+        Ok(Server {
+            addr,
+            stop,
+            stop_batcher,
+            waker,
+            queue,
+            event_loop: Some(event_loop),
+            batcher: Some(batcher),
+        })
     }
 
     /// The bound socket address (resolves the ephemeral port of `addr: …:0`).
@@ -142,22 +210,23 @@ impl Server {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, finish in-flight connections,
-    /// drain the decision queue, join all threads.
+    /// Graceful shutdown: stop accepting, resolve in-flight decisions
+    /// (bounded), close all connections, drain the queue, join threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.stop_accept.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
-        // Every producer (handler thread) is joined: tell the batcher to
-        // finish the remaining queue and exit.
+        // The event loop has exited: every reply slot it owned is dropped,
+        // so remaining queue jobs are answered into the void (and skipped
+        // by the batcher's disconnect check). Let the batcher drain out.
         self.stop_batcher.store(true, Ordering::SeqCst);
+        self.queue.notify_all();
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
@@ -167,30 +236,263 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept.is_some() || self.batcher.is_some() {
+        if self.event_loop.is_some() || self.batcher.is_some() {
             self.stop();
         }
     }
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
+/// One registered connection plus the interest currently installed in the
+/// selector (so reregistration happens only on change).
+struct ConnEntry {
+    conn: Conn,
+    interest: (bool, bool),
+}
+
+/// The event loop body: owns the selector, the listener, and every
+/// connection state machine until shutdown completes.
+fn run_event_loop(
+    poll: Poll,
+    listener: TcpListener,
+    waker: &Waker,
     registry: &ModelRegistry,
     queue: &RequestQueue,
-    timeout: Duration,
+    cfg: &ServeConfig,
+    stop: &AtomicBool,
 ) {
-    let req = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            metrics::errors().inc();
-            let _ =
-                write_response(&mut stream, 400, &error_json(&format!("malformed request: {e}")));
-            return;
+    let mut conns: BTreeMap<usize, ConnEntry> = BTreeMap::new();
+    let mut events = Events::with_capacity(256);
+    let mut next_token = FIRST_CONN;
+    let mut listener = Some(listener);
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        if poll.poll(&mut events, Some(TICK)).is_err() {
+            ppn_obs::obs_warn!("serve: selector poll failed, shutting the event loop down");
+            break;
         }
-    };
+        let now = clock::now();
+        let stopping = stop.load(Ordering::SeqCst);
+
+        // Tokens whose sockets reported readiness this round.
+        let mut readable: Vec<usize> = Vec::new();
+        let mut accept_ready = false;
+        for ev in events.iter() {
+            match ev.token() {
+                LISTENER => accept_ready = true,
+                WAKER => waker.drain(),
+                Token(t) => {
+                    if ev.is_readable() || ev.is_closed() {
+                        readable.push(t);
+                    }
+                    // Writable readiness needs no marker: every connection
+                    // is pumped below regardless.
+                }
+            }
+        }
+
+        if accept_ready && !stopping {
+            if let Some(l) = listener.as_ref() {
+                accept_all(l, &poll, &mut conns, &mut next_token, cfg);
+            }
+        }
+
+        // Read + parse + route on connections that reported readiness.
+        for t in readable {
+            let Some(entry) = conns.get_mut(&t) else { continue };
+            if entry.conn.fill().is_err() {
+                deregister_conn(&poll, entry);
+                conns.remove(&t);
+                continue;
+            }
+            loop {
+                match entry.conn.next_request() {
+                    Ok(Some(req)) => {
+                        route_request(&mut entry.conn, req, registry, queue, cfg, stopping, now)
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        metrics::requests().inc();
+                        metrics::errors().inc();
+                        metrics::latency_ms().observe(0.0);
+                        let body = error_json(&format!("malformed request: {e}"));
+                        entry.conn.push_ready(
+                            format_response(400, "application/json", &[], &body, false),
+                            false,
+                        );
+                        entry.conn.begin_shutdown();
+                        break;
+                    }
+                }
+            }
+        }
+
+        if stopping {
+            // First observation of the stop flag: close the accept path,
+            // stop parsing new requests everywhere, and set the hard
+            // drain deadline (in-flight decisions get request_timeout).
+            if let Some(l) = listener.take() {
+                let _ = poll.deregister(&l);
+                drop(l);
+                for entry in conns.values_mut() {
+                    entry.conn.begin_shutdown();
+                }
+                drain_deadline = Some(now + cfg.request_timeout + Duration::from_secs(1));
+            }
+        }
+
+        // Deadlines, pumping, interest maintenance, reaping — full sweep
+        // (connection counts are modest; the sweep is cache-friendly and
+        // keeps the logic free of dirty-set bookkeeping).
+        let mut dead: Vec<usize> = Vec::new();
+        for (&t, entry) in conns.iter_mut() {
+            entry.conn.check_read_deadline(now, cfg.read_timeout);
+            if entry.conn.pump(now).is_err() {
+                dead.push(t);
+                continue;
+            }
+            if entry.conn.finished() || entry.conn.idle_expired(now, cfg.idle_timeout) {
+                dead.push(t);
+                continue;
+            }
+            let want = (entry.conn.wants_read(), entry.conn.wants_write());
+            if want != entry.interest {
+                let interest = build_interest(want);
+                if poll.reregister(entry.conn.stream(), Token(t), interest).is_err() {
+                    dead.push(t);
+                    continue;
+                }
+                entry.interest = want;
+            }
+        }
+        for t in dead {
+            if let Some(entry) = conns.get(&t) {
+                deregister_conn(&poll, entry);
+            }
+            conns.remove(&t);
+        }
+        metrics::connections().set(conns.len() as f64);
+
+        if stopping && listener.is_none() {
+            let expired = drain_deadline.is_some_and(|d| now >= d);
+            if conns.is_empty() || expired {
+                if expired && !conns.is_empty() {
+                    ppn_obs::obs_warn!(
+                        "serve: drain deadline hit with {} connection(s) still open — force-closing",
+                        conns.len()
+                    );
+                }
+                break;
+            }
+        }
+    }
+    // Dropping `conns` drops every reply receiver: in-queue jobs for these
+    // connections read as disconnected and are skipped by the batcher.
+}
+
+/// Builds a selector interest from `(read, write)` wants. A connection
+/// waiting on nothing still registers READABLE so peer hangups surface.
+fn build_interest(want: (bool, bool)) -> Interest {
+    match want {
+        (_, false) => Interest::READABLE,
+        (false, true) => Interest::WRITABLE,
+        (true, true) => Interest::READABLE.add(Interest::WRITABLE),
+    }
+}
+
+/// Accepts every pending connection, applying the `max_conns` admission
+/// bound (refused peers get a best-effort `503` and an immediate close).
+fn accept_all(
+    listener: &TcpListener,
+    poll: &Poll,
+    conns: &mut BTreeMap<usize, ConnEntry>,
+    next_token: &mut usize,
+    cfg: &ServeConfig,
+) {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if conns.len() >= cfg.max_conns {
+                    metrics::shed().inc();
+                    metrics::errors().inc();
+                    let body = error_json("connection limit reached");
+                    let _ = stream.write_all(&format_response(
+                        503,
+                        "application/json",
+                        &["Retry-After: 1"],
+                        &body,
+                        false,
+                    ));
+                    continue;
+                }
+                let Ok(conn) = Conn::new(stream) else { continue };
+                let t = *next_token;
+                *next_token += 1;
+                if poll.register(conn.stream(), Token(t), Interest::READABLE).is_ok() {
+                    conns.insert(t, ConnEntry { conn, interest: (true, false) });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    metrics::connections().set(conns.len() as f64);
+}
+
+fn deregister_conn(poll: &Poll, entry: &ConnEntry) {
+    let _ = poll.deregister(entry.conn.stream());
+}
+
+/// Routes one parsed request: immediate endpoints are answered in place;
+/// `/decide` enters the bounded queue (or is shed with `429`).
+fn route_request(
+    conn: &mut Conn,
+    req: HttpRequest,
+    registry: &ModelRegistry,
+    queue: &RequestQueue,
+    cfg: &ServeConfig,
+    stopping: bool,
+    now: Instant,
+) {
     metrics::requests().inc();
+    let keep = req.keep_alive;
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/decide") => handle_decide(stream, &req, queue, timeout),
+        ("POST", "/decide") => {
+            let parsed: DecideRequest = match serde_json::from_slice(&req.body) {
+                Ok(p) => p,
+                Err(e) => {
+                    respond_error(conn, 400, &format!("bad request body: {e}"), &[], keep, now);
+                    return;
+                }
+            };
+            if stopping {
+                respond_error(conn, 503, "server is shutting down", &[], keep, now);
+                return;
+            }
+            // Root span for the request's whole server-side lifetime. Inert
+            // unless picked by `PPN_TRACE_SAMPLE` every-Nth sampling; the
+            // context rides through the queue so the batcher can attach the
+            // queue-wait / assemble / forward stage spans to the same trace.
+            let root = TraceSpan::root("serve.request");
+            let trace = root.context();
+            let (tx, rx) = reply_pair();
+            let job = QueuedRequest { request: parsed, reply: tx, enqueued_at: now, trace };
+            match queue.try_push(job) {
+                Ok(()) => conn.push_waiting(rx, now, now + cfg.request_timeout, root, keep),
+                Err(_refused) => {
+                    metrics::shed().inc();
+                    respond_error(
+                        conn,
+                        429,
+                        "decision queue is full, retry shortly",
+                        &["Retry-After: 1"],
+                        keep,
+                        now,
+                    );
+                }
+            }
+        }
         ("GET", "/health") => {
             let mut s = serde::Ser::new();
             s.begin_obj();
@@ -199,87 +501,55 @@ fn handle_connection(
             s.key("models");
             registry.names().serialize(&mut s);
             s.end_obj();
-            let _ = write_response(&mut stream, 200, &s.finish());
+            respond_ok(conn, "application/json", &s.finish(), keep, now);
         }
         ("GET", "/metrics") => {
             let body = ppn_obs::metrics_snapshot().to_prometheus();
-            let _ = write_response_typed(&mut stream, 200, ppn_obs::prom::CONTENT_TYPE, &body);
+            respond_ok(conn, ppn_obs::prom::CONTENT_TYPE, &body, keep, now);
         }
         ("GET", "/metrics.json") => match serde_json::to_string(&ppn_obs::metrics_snapshot()) {
-            Ok(body) => {
-                let _ = write_response(&mut stream, 200, &body);
-            }
-            Err(e) => {
-                metrics::errors().inc();
-                let _ =
-                    write_response(&mut stream, 500, &error_json(&format!("snapshot failed: {e}")));
-            }
+            Ok(body) => respond_ok(conn, "application/json", &body, keep, now),
+            Err(e) => respond_error(conn, 500, &format!("snapshot failed: {e}"), &[], keep, now),
         },
         (m, "/decide" | "/health" | "/metrics" | "/metrics.json") => {
-            metrics::errors().inc();
-            let _ = write_response(
-                &mut stream,
+            respond_error(
+                conn,
                 405,
-                &error_json(&format!("method {m} not allowed on {}", req.path)),
+                &format!("method {m} not allowed on {}", req.path),
+                &[],
+                keep,
+                now,
             );
         }
         (_, p) => {
-            metrics::errors().inc();
-            let _ = write_response(&mut stream, 404, &error_json(&format!("no route {p}")));
+            respond_error(conn, 404, &format!("no route {p}"), &[], keep, now);
         }
     }
 }
 
-fn handle_decide(
-    mut stream: TcpStream,
-    req: &HttpRequest,
-    queue: &RequestQueue,
-    timeout: Duration,
+/// Queues an immediate 200 and records its (sub-tick) latency — every
+/// outcome shows up in `serve.latency_ms`, not just decisions.
+fn respond_ok(conn: &mut Conn, content_type: &str, body: &str, keep_alive: bool, started: Instant) {
+    metrics::latency_ms()
+        .observe(clock::now().saturating_duration_since(started).as_secs_f64() * 1e3);
+    conn.push_ready(format_response(200, content_type, &[], body, keep_alive), keep_alive);
+}
+
+/// Queues an error response, counting it and recording its latency.
+fn respond_error(
+    conn: &mut Conn,
+    status: u16,
+    message: &str,
+    extra_headers: &[&str],
+    keep_alive: bool,
+    started: Instant,
 ) {
-    let parsed: DecideRequest = match serde_json::from_slice(&req.body) {
-        Ok(p) => p,
-        Err(e) => {
-            metrics::errors().inc();
-            let _ =
-                write_response(&mut stream, 400, &error_json(&format!("bad request body: {e}")));
-            return;
-        }
-    };
-    // Root span for the request's whole server-side lifetime. Inert unless
-    // this request is picked by `PPN_TRACE_SAMPLE` every-Nth sampling; the
-    // context rides through the queue so the batcher can attach the
-    // queue-wait / assemble / forward stage spans to the same trace.
-    let root = TraceSpan::root("serve.request");
-    let trace = root.context();
-    let started = ppn_obs::clock::now();
-    let (tx, rx) = mpsc::channel();
-    queue.push(QueuedRequest { request: parsed, reply: tx, enqueued_at: started, trace });
-    let outcome = rx.recv_timeout(timeout);
-    let _respond = trace.child("serve.respond");
-    match outcome {
-        Ok(Ok(resp)) => {
-            metrics::latency_ms().observe(started.elapsed().as_secs_f64() * 1e3);
-            match serde_json::to_string(&resp) {
-                Ok(body) => {
-                    let _ = write_response(&mut stream, 200, &body);
-                }
-                Err(e) => {
-                    metrics::errors().inc();
-                    let _ = write_response(
-                        &mut stream,
-                        500,
-                        &error_json(&format!("response serialization failed: {e}")),
-                    );
-                }
-            }
-        }
-        // Routing/validation errors: the batcher already counted them.
-        Ok(Err(e)) => {
-            let _ = write_response(&mut stream, e.status(), &error_json(&e.message()));
-        }
-        Err(_) => {
-            metrics::errors().inc();
-            let _ = write_response(&mut stream, 504, &error_json("decision timed out"));
-        }
-    }
+    metrics::errors().inc();
+    metrics::latency_ms()
+        .observe(clock::now().saturating_duration_since(started).as_secs_f64() * 1e3);
+    let body = error_json(message);
+    conn.push_ready(
+        format_response(status, "application/json", extra_headers, &body, keep_alive),
+        keep_alive,
+    );
 }

@@ -1,7 +1,9 @@
 //! End-to-end tests for ppn-serve: concurrent decide requests must be
-//! bit-identical to direct single-sample `PolicyNet::act`, the health /
-//! metrics endpoints must work, error paths must map to the right HTTP
-//! statuses, and shutdown must be graceful.
+//! bit-identical to direct single-sample `PolicyNet::act`, keep-alive and
+//! pipelined connections must get ordered responses, overload must shed
+//! with 429 (never queue without bound), error paths must map to the right
+//! HTTP statuses *and* still be metered, and shutdown must stay bounded
+//! even with idle or slow-loris connections attached.
 //!
 //! Metrics share one process-global registry, so these tests only assert
 //! monotone facts (counts grew, histogram non-empty) and never reset it.
@@ -9,14 +11,15 @@
 use ppn_core::config::NetConfig;
 use ppn_core::ppn::{PolicyNet, Variant};
 use ppn_serve::batcher::process_batch;
-use ppn_serve::http::http_request;
-use ppn_serve::queue::{QueuedRequest, RequestQueue};
+use ppn_serve::http::{http_request, HttpClient};
+use ppn_serve::queue::{reply_pair, QueuedRequest, RequestQueue};
 use ppn_serve::{DecideRequest, DecideResponse, ModelRegistry, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Value;
-use std::sync::mpsc;
-use std::time::Instant;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 fn small_cfg(assets: usize) -> NetConfig {
     NetConfig { window: 8, lstm_hidden: 4, tccb_channels: [3, 4, 4], ..NetConfig::paper(assets) }
@@ -30,9 +33,13 @@ fn probe_inputs(cfg: &NetConfig, salt: u64) -> (Vec<f64>, Vec<f64>) {
     (window, prev)
 }
 
-/// Starts a server with one seeded PPN-LSTM model named `model`, returning
-/// the handle plus the per-salt expected outputs of the direct `act` path.
-fn start_server(n_expected: u64) -> (Server, Vec<Vec<f64>>, NetConfig) {
+/// Starts a server with one seeded PPN-LSTM model named `model` and the
+/// given config, returning the handle plus the per-salt expected outputs of
+/// the direct `act` path.
+fn start_server_with(
+    n_expected: u64,
+    serve_cfg: ServeConfig,
+) -> (Server, Vec<Vec<f64>>, NetConfig) {
     let cfg = small_cfg(3);
     let mut rng = StdRng::seed_from_u64(42);
     let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
@@ -44,8 +51,12 @@ fn start_server(n_expected: u64) -> (Server, Vec<Vec<f64>>, NetConfig) {
         .collect();
     let mut registry = ModelRegistry::new();
     registry.insert("model", net);
-    let server = Server::start(registry, ServeConfig::default()).unwrap();
+    let server = Server::start(registry, serve_cfg).unwrap();
     (server, expected, cfg)
+}
+
+fn start_server(n_expected: u64) -> (Server, Vec<Vec<f64>>, NetConfig) {
+    start_server_with(n_expected, ServeConfig::default())
 }
 
 fn decide_body(cfg: &NetConfig, salt: u64) -> String {
@@ -83,49 +94,88 @@ fn concurrent_decides_are_bit_identical_to_direct_act() {
 }
 
 #[test]
-fn health_and_metrics_endpoints_respond() {
-    let (server, _expected, cfg) = start_server(1);
-    let addr = server.addr();
-
-    // One decide so serve.latency_ms has at least one observation.
-    let (status, _) = http_request(addr, "POST", "/decide", &decide_body(&cfg, 0)).unwrap();
-    assert_eq!(status, 200);
-
-    let (status, body) = http_request(addr, "GET", "/health", "").unwrap();
-    assert_eq!(status, 200);
-    let health = Value::parse(&body).unwrap();
-    match health.field("status").unwrap() {
-        Value::Str(s) => assert_eq!(s, "ok"),
-        other => panic!("unexpected status value {other:?}"),
+fn keep_alive_connection_serves_many_requests() {
+    let (server, expected, cfg) = start_server(4);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for salt in 0..4u64 {
+        let resp = client.request("POST", "/decide", &decide_body(&cfg, salt)).unwrap();
+        assert_eq!(resp.status, 200, "salt {salt}: {}", resp.body);
+        assert!(
+            resp.headers.contains("Connection: keep-alive"),
+            "decide responses on a 1.1 connection must keep it alive: {}",
+            resp.headers
+        );
+        let parsed: DecideResponse = serde_json::from_str(&resp.body).unwrap();
+        let got: Vec<u64> = parsed.weights.iter().map(|w| w.to_bits()).collect();
+        let want: Vec<u64> = expected[salt as usize].iter().map(|w| w.to_bits()).collect();
+        assert_eq!(got, want, "salt {salt}");
     }
-    assert!(body.contains("\"model\""), "health must list registered models: {body}");
+    // Mixed routes ride the same connection.
+    let resp = client.request("GET", "/health", "").unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
 
-    // /metrics speaks Prometheus text exposition (sanitized metric names,
-    // TYPE comments, cumulative buckets ending in +Inf).
-    let (status, body) = http_request(addr, "GET", "/metrics", "").unwrap();
-    assert_eq!(status, 200);
-    assert!(
-        body.contains("# TYPE serve_latency_ms histogram"),
-        "metrics must expose serve_latency_ms as a histogram: {body}"
-    );
-    assert!(
-        body.contains("serve_batch_size_bucket{le=\"+Inf\"}"),
-        "histograms must end in a +Inf bucket: {body}"
-    );
-    assert!(body.contains("serve_latency_ms_count"), "histogram count line: {body}");
-    assert!(body.contains("# TYPE serve_requests counter"), "counter TYPE line: {body}");
-    assert!(body.contains("# TYPE serve_queue_depth gauge"), "gauge TYPE line: {body}");
+#[test]
+fn pipelined_requests_get_ordered_responses() {
+    let n = 6u64;
+    let (server, expected, cfg) = start_server(n);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    // Write every request before reading a single response: the server must
+    // parse them all from the buffer and answer strictly in request order.
+    for salt in 0..n {
+        client.send("POST", "/decide", &decide_body(&cfg, salt)).unwrap();
+    }
+    for salt in 0..n {
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.status, 200, "salt {salt}: {}", resp.body);
+        let parsed: DecideResponse = serde_json::from_str(&resp.body).unwrap();
+        let got: Vec<u64> = parsed.weights.iter().map(|w| w.to_bits()).collect();
+        let want: Vec<u64> = expected[salt as usize].iter().map(|w| w.to_bits()).collect();
+        assert_eq!(got, want, "response {salt} must answer request {salt} (ordering)");
+    }
+    server.shutdown();
+}
 
-    // The JSON snapshot stays available at /metrics.json for tooling that
-    // wants the raw structure.
-    let (status, body) = http_request(addr, "GET", "/metrics.json", "").unwrap();
-    assert_eq!(status, 200);
-    assert!(body.contains("serve.latency_ms"), "JSON keeps dotted names: {body}");
-    assert!(Value::parse(&body).is_ok(), "metrics.json must parse as JSON: {body}");
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    // queue_cap 0: every decide is refused at admission — deterministic
+    // shedding regardless of batcher timing.
+    let serve_cfg = ServeConfig { queue_cap: 0, ..ServeConfig::default() };
+    let (server, _expected, cfg) = start_server_with(0, serve_cfg);
+    let shed_before = ppn_serve::metrics::shed().get();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for _ in 0..3 {
+        let resp = client.request("POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+        assert_eq!(resp.status, 429, "{}", resp.body);
+        assert!(resp.headers.contains("Retry-After: 1"), "{}", resp.headers);
+        assert!(
+            resp.headers.contains("Connection: keep-alive"),
+            "shedding must not tear down the connection: {}",
+            resp.headers
+        );
+    }
+    assert!(ppn_serve::metrics::shed().get() >= shed_before + 3);
+    // Non-decide routes are unaffected by decision-queue pressure.
+    let resp = client.request("GET", "/health", "").unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
 
-    // The histogram must be non-empty after a successful decide.
-    assert!(ppn_serve::metrics::latency_ms().count() > 0);
-    assert!(ppn_serve::metrics::batch_size().count() > 0);
+#[test]
+fn connection_limit_refuses_with_503() {
+    let serve_cfg = ServeConfig { max_conns: 1, ..ServeConfig::default() };
+    let (server, _expected, _cfg) = start_server_with(0, serve_cfg);
+    let mut first = HttpClient::connect(server.addr()).unwrap();
+    assert_eq!(first.request("GET", "/health", "").unwrap().status, 200);
+    // The second connection is over the limit: refused with a best-effort
+    // 503 and closed. An Err means it was dropped before the response could
+    // be read — also a refusal, so only a readable status is asserted on.
+    if let Ok((status, _)) = http_request(server.addr(), "GET", "/health", "") {
+        assert_eq!(status, 503);
+    }
+    // The admitted connection keeps working.
+    assert_eq!(first.request("GET", "/health", "").unwrap().status, 200);
     server.shutdown();
 }
 
@@ -159,6 +209,99 @@ fn error_paths_map_to_http_statuses() {
 }
 
 #[test]
+fn every_outcome_is_metered_including_malformed() {
+    let (server, _expected, _cfg) = start_server(0);
+    let addr = server.addr();
+    let requests_before = ppn_serve::metrics::requests().get();
+    let errors_before = ppn_serve::metrics::errors().get();
+    let latency_before = ppn_serve::metrics::latency_ms().count();
+
+    // A request that never parses still counts: it arrived, it errored, and
+    // its latency was observed (the old code only metered the 200 path).
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+    drop(stream);
+
+    // An error-status route outcome is metered too.
+    let (status, _) = http_request(addr, "POST", "/bogus", "{}").unwrap();
+    assert_eq!(status, 404);
+
+    assert!(ppn_serve::metrics::requests().get() >= requests_before + 2);
+    assert!(ppn_serve::metrics::errors().get() >= errors_before + 2);
+    assert!(ppn_serve::metrics::latency_ms().count() >= latency_before + 2);
+    server.shutdown();
+}
+
+#[test]
+fn slow_request_times_out_with_408() {
+    let serve_cfg =
+        ServeConfig { read_timeout: Duration::from_millis(150), ..ServeConfig::default() };
+    let (server, _expected, _cfg) = start_server_with(0, serve_cfg);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Half a request head, then silence: the read deadline must answer 408
+    // and close instead of holding the connection open forever.
+    stream.write_all(b"POST /decide HTTP/1.1\r\nContent-").unwrap();
+    let mut raw = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 408 "), "{raw}");
+    server.shutdown();
+}
+
+#[test]
+fn health_and_metrics_endpoints_respond() {
+    let (server, _expected, cfg) = start_server(1);
+    let addr = server.addr();
+
+    // One decide so serve.latency_ms has at least one observation.
+    let (status, _) = http_request(addr, "POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+    assert_eq!(status, 200);
+
+    let (status, body) = http_request(addr, "GET", "/health", "").unwrap();
+    assert_eq!(status, 200);
+    let health = Value::parse(&body).unwrap();
+    match health.field("status").unwrap() {
+        Value::Str(s) => assert_eq!(s, "ok"),
+        other => panic!("unexpected status value {other:?}"),
+    }
+    assert!(body.contains("\"model\""), "health must list registered models: {body}");
+
+    // /metrics speaks Prometheus text exposition (sanitized metric names,
+    // TYPE comments, cumulative buckets ending in +Inf).
+    let (status, body) = http_request(addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("# TYPE serve_latency_ms histogram"),
+        "metrics must expose serve_latency_ms as a histogram: {body}"
+    );
+    assert!(
+        body.contains("serve_batch_size_bucket{le=\"+Inf\"}"),
+        "histograms must end in a +Inf bucket: {body}"
+    );
+    assert!(body.contains("serve_latency_ms_count"), "histogram count line: {body}");
+    assert!(body.contains("# TYPE serve_requests counter"), "counter TYPE line: {body}");
+    assert!(body.contains("# TYPE serve_queue_depth gauge"), "gauge TYPE line: {body}");
+    assert!(body.contains("serve_shed"), "shed counter must be exported: {body}");
+    assert!(body.contains("serve_connections"), "connection gauge must be exported: {body}");
+
+    // The JSON snapshot stays available at /metrics.json for tooling that
+    // wants the raw structure.
+    let (status, body) = http_request(addr, "GET", "/metrics.json", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("serve.latency_ms"), "JSON keeps dotted names: {body}");
+    assert!(Value::parse(&body).is_ok(), "metrics.json must parse as JSON: {body}");
+
+    // The histogram must be non-empty after a successful decide.
+    assert!(ppn_serve::metrics::latency_ms().count() > 0);
+    assert!(ppn_serve::metrics::batch_size().count() > 0);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_is_graceful_and_idempotent_under_drop() {
     let (server, _expected, cfg) = start_server(1);
     let addr = server.addr();
@@ -174,6 +317,30 @@ fn shutdown_is_graceful_and_idempotent_under_drop() {
 }
 
 #[test]
+fn shutdown_is_bounded_with_idle_and_slow_loris_connections() {
+    let (server, _expected, _cfg) = start_server(0);
+    let addr = server.addr();
+    // An idle keep-alive connection that finished a request…
+    let mut idle = HttpClient::connect(addr).unwrap();
+    assert_eq!(idle.request("GET", "/health", "").unwrap().status, 200);
+    // …and a slow-loris peer that sent half a request and went quiet. The
+    // old thread-per-connection server joined handler threads blocked in
+    // read() here and hung until the peer gave up.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"POST /decide HTTP/1.1\r\nConte").unwrap();
+
+    let begin = Instant::now();
+    server.shutdown();
+    let took = begin.elapsed();
+    assert!(
+        took < Duration::from_secs(5),
+        "shutdown with idle + slow-loris connections must stay bounded, took {took:?}"
+    );
+    drop(idle);
+    drop(loris);
+}
+
+#[test]
 fn process_batch_coalesces_jobs_into_one_forward_pass() {
     let cfg = small_cfg(3);
     let mut rng = StdRng::seed_from_u64(7);
@@ -181,27 +348,64 @@ fn process_batch_coalesces_jobs_into_one_forward_pass() {
     let mut registry = ModelRegistry::new();
     registry.insert("m", net);
 
-    let queue = RequestQueue::new();
+    let queue = RequestQueue::new(64);
     let n = 5;
     let mut receivers = Vec::new();
     for salt in 0..n {
         let (window, prev_action) = probe_inputs(&cfg, salt);
-        let (tx, rx) = mpsc::channel();
-        queue.push(QueuedRequest {
-            request: DecideRequest { model: "m".to_string(), window, prev_action },
-            reply: tx,
-            enqueued_at: Instant::now(),
-            trace: ppn_obs::TraceContext::inert(),
-        });
+        let (tx, rx) = reply_pair();
+        queue
+            .try_push(QueuedRequest {
+                request: DecideRequest { model: "m".to_string(), window, prev_action },
+                reply: tx,
+                enqueued_at: Instant::now(),
+                trace: ppn_obs::TraceContext::inert(),
+            })
+            .unwrap_or_else(|_| panic!("queue has room"));
         receivers.push(rx);
     }
     assert_eq!(queue.len(), n as usize);
     process_batch(&registry, queue.drain(16));
     assert!(queue.is_empty());
     for rx in receivers {
-        let resp = rx.recv().unwrap().unwrap();
+        let resp = rx.try_take().expect("outcome delivered").unwrap();
         assert_eq!(resp.batch_size, n as usize, "all jobs must share one forward pass");
         let sum: f64 = resp.weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "weights must lie on the simplex: {sum}");
     }
+}
+
+#[test]
+fn batcher_skips_jobs_whose_client_disconnected() {
+    let cfg = small_cfg(3);
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
+    let mut registry = ModelRegistry::new();
+    registry.insert("m", net);
+
+    let cancelled_before = ppn_serve::metrics::cancelled().get();
+    let mut jobs = Vec::new();
+    let mut kept = Vec::new();
+    for salt in 0..4u64 {
+        let (window, prev_action) = probe_inputs(&cfg, salt);
+        let (tx, rx) = reply_pair();
+        jobs.push(QueuedRequest {
+            request: DecideRequest { model: "m".to_string(), window, prev_action },
+            reply: tx,
+            enqueued_at: Instant::now(),
+            trace: ppn_obs::TraceContext::inert(),
+        });
+        // Abandon the odd salts' receivers: their clients are gone.
+        if salt % 2 == 0 {
+            kept.push(rx);
+        }
+    }
+    process_batch(&registry, jobs);
+    for rx in kept {
+        let resp = rx.try_take().expect("connected jobs must still be answered").unwrap();
+        // batch_size proves the abandoned jobs were dropped *before* the
+        // forward pass, not computed and then thrown away.
+        assert_eq!(resp.batch_size, 2, "only the 2 connected jobs may enter the batch");
+    }
+    assert!(ppn_serve::metrics::cancelled().get() >= cancelled_before + 2);
 }
