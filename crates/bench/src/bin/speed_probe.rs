@@ -7,14 +7,21 @@
 //! backward), verifies the outputs are bit-identical to the serial path,
 //! and writes the sweep to `results/BENCH_parallel.json`.
 //!
-//! `--smoke` runs only the sweep and asserts instead of writing: outputs
-//! must be bit-identical and 4-thread matmul throughput must not fall below
-//! single-thread (a relaxed overhead floor applies on single-core hosts,
-//! where no speedup is physically possible).
+//! `--smoke` runs only the sweeps and asserts instead of writing: outputs
+//! must be bit-identical (parallel vs serial, vector vs scalar) and
+//! 4-thread matmul throughput must not fall below single-thread (a relaxed
+//! overhead floor applies on single-core hosts, where no speedup is
+//! physically possible).
+//!
+//! The second artifact, `results/BENCH_tensor.json`, is the before/after
+//! ledger for the aligned-storage + blocked-kernel + buffer-arena work:
+//! per-kernel single-thread timings against the pre-refactor baselines
+//! recorded below, a scalar-vs-vector comparison under [`simd::force_scalar`],
+//! and the arena counters for one training step.
 
 use ppn_core::prelude::*;
 use ppn_market::{Dataset, Preset};
-use ppn_tensor::{conv, par, Tensor};
+use ppn_tensor::{conv, par, simd, storage, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -36,6 +43,48 @@ struct BenchParallel {
     conv_desc: String,
     thread_sweep: Vec<ThreadSample>,
 }
+
+#[derive(serde::Serialize)]
+struct KernelBench {
+    name: String,
+    baseline_ms: f64,
+    after_ms: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ArenaCounters {
+    alloc_bytes: u64,
+    arena_hits: u64,
+    arena_misses: u64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchTensor {
+    baseline_commit: String,
+    simd_compiled: bool,
+    simd_active: bool,
+    threads: usize,
+    kernels: Vec<KernelBench>,
+    scalar_matmul_ms: f64,
+    scalar_conv_ms: f64,
+    scalar_vs_vector_bit_identical: bool,
+    trainer_step_arena: ArenaCounters,
+}
+
+/// Pre-refactor single-thread timings, measured on this container class at
+/// the seed of the aligned-storage PR (commit 0e3f6c6) with the same reps
+/// and shapes as the live measurements below. They are the "before" column
+/// of `results/BENCH_tensor.json`.
+const TENSOR_BASELINES: [(&str, f64); 7] = [
+    ("matmul_256x256x256", 4.22),
+    ("conv_stack_fwd_bwd", 19.10),
+    ("trainer_step_ppn", 251.2),
+    ("trainer_step_ppn_i", 107.1),
+    ("trainer_step_ppn_lstm", 29.4),
+    ("trainer_step_eiie", 21.6),
+    ("act_batch_32", 70.12),
+];
 
 /// Fixed deterministic inputs shared by every thread count.
 struct Workload {
@@ -96,6 +145,148 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn tensor_baseline_ms(name: &str) -> f64 {
+    TENSOR_BASELINES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, ms)| *ms)
+        .expect("kernel name present in TENSOR_BASELINES")
+}
+
+fn kernel_bench(name: &str, after_ms: f64) -> KernelBench {
+    let baseline_ms = tensor_baseline_ms(name);
+    KernelBench { name: name.to_string(), baseline_ms, after_ms, speedup: baseline_ms / after_ms }
+}
+
+/// Average ms/step over ten fresh-trainer steps — same method and shapes as
+/// the pre-refactor baseline measurements in [`TENSOR_BASELINES`].
+fn trainer_ms_per_step(ds: &Dataset, variant: Variant) -> f64 {
+    let cfg = TrainConfig { steps: 10, batch: 24, ..TrainConfig::default() };
+    let mut tr = Trainer::new(ds, variant, RewardConfig::default(), cfg);
+    let t0 = Instant::now();
+    for _ in 0..10 {
+        tr.step();
+    }
+    t0.elapsed().as_secs_f64() * 100.0
+}
+
+/// Best-of-`reps` ms for a 32-row [`PolicyNet::act_batch`] — the serving
+/// forward path.
+fn act_batch_ms(reps: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = PolicyNet::new(Variant::Ppn, NetConfig::paper(10), &mut rng);
+    let m1 = net.cfg.assets + 1;
+    let wlen = net.cfg.features * net.cfg.assets * net.cfg.window;
+    let windows: Vec<Vec<f64>> =
+        (0..32).map(|i| (0..wlen).map(|j| 1.0 + 0.001 * ((i * j) % 17) as f64).collect()).collect();
+    let prevs: Vec<Vec<f64>> = (0..32)
+        .map(|_| {
+            let mut v = vec![0.0; m1];
+            v[0] = 1.0;
+            v
+        })
+        .collect();
+    let _ = net.act_batch(&windows, &prevs); // warmup primes the arena
+    best_ms(reps, || {
+        let _ = net.act_batch(&windows, &prevs);
+    })
+}
+
+/// Arena counter deltas over one steady-state trainer step (three warmup
+/// steps park the tape buffers first, so the delta shows the reuse rate).
+fn trainer_step_arena(ds: &Dataset) -> ArenaCounters {
+    let cfg = TrainConfig { steps: 10, batch: 24, ..TrainConfig::default() };
+    let mut tr = Trainer::new(ds, Variant::PpnLstm, RewardConfig::default(), cfg);
+    for _ in 0..3 {
+        tr.step();
+    }
+    let before = storage::arena_stats();
+    tr.step();
+    let after = storage::arena_stats();
+    ArenaCounters {
+        alloc_bytes: after.alloc_bytes - before.alloc_bytes,
+        arena_hits: after.arena_hits - before.arena_hits,
+        arena_misses: after.arena_misses - before.arena_misses,
+    }
+}
+
+/// Single-thread per-kernel before/after ledger plus the scalar-vs-vector
+/// comparison. Smoke mode asserts bit-identity and returns without writing;
+/// full mode also times the trainer variants and the serving forward path
+/// and writes `results/BENCH_tensor.json`.
+fn tensor_bench(wl: &Workload, smoke: bool) {
+    let reps = if smoke { 2 } else { 5 };
+    par::with_threads(1, || {
+        let matmul_ms = best_ms(reps, || {
+            let _ = wl.matmul();
+        });
+        let conv_ms = best_ms(reps, || {
+            let _ = wl.conv_stack();
+        });
+        let (scalar_mm, scalar_conv, scalar_matmul_ms, scalar_conv_ms) = simd::force_scalar(|| {
+            let scalar_matmul_ms = best_ms(reps, || {
+                let _ = wl.matmul();
+            });
+            let scalar_conv_ms = best_ms(reps, || {
+                let _ = wl.conv_stack();
+            });
+            (wl.matmul(), wl.conv_stack(), scalar_matmul_ms, scalar_conv_ms)
+        });
+        let (vec_mm, vec_conv) = (wl.matmul(), wl.conv_stack());
+        let bit_identical =
+            bits_eq(vec_mm.data(), scalar_mm.data()) && bits_eq(&vec_conv, &scalar_conv);
+        assert!(bit_identical, "vector kernels diverged from the scalar reference");
+
+        println!(
+            "tensor: matmul {matmul_ms:8.2} ms (scalar {scalar_matmul_ms:8.2} ms)  conv \
+             {conv_ms:8.2} ms (scalar {scalar_conv_ms:8.2} ms)  simd_active={} bit_identical={}",
+            simd::enabled(),
+            bit_identical
+        );
+        if smoke {
+            println!("smoke ok: scalar/vector bit-identical");
+            return;
+        }
+
+        let mut kernels = vec![
+            kernel_bench("matmul_256x256x256", matmul_ms),
+            kernel_bench("conv_stack_fwd_bwd", conv_ms),
+        ];
+        let ds = Dataset::load(Preset::CryptoA);
+        for (name, variant) in [
+            ("trainer_step_ppn", Variant::Ppn),
+            ("trainer_step_ppn_i", Variant::PpnI),
+            ("trainer_step_ppn_lstm", Variant::PpnLstm),
+            ("trainer_step_eiie", Variant::Eiie),
+        ] {
+            kernels.push(kernel_bench(name, trainer_ms_per_step(&ds, variant)));
+        }
+        kernels.push(kernel_bench("act_batch_32", act_batch_ms(reps)));
+        for k in &kernels {
+            println!(
+                "tensor: {:<22} {:>8.2} ms  (baseline {:>8.2} ms, {:.2}x)",
+                k.name, k.after_ms, k.baseline_ms, k.speedup
+            );
+        }
+
+        let report = BenchTensor {
+            baseline_commit: "0e3f6c6".to_string(),
+            simd_compiled: cfg!(feature = "simd"),
+            simd_active: simd::enabled(),
+            threads: 1,
+            kernels,
+            scalar_matmul_ms,
+            scalar_conv_ms,
+            scalar_vs_vector_bit_identical: bit_identical,
+            trainer_step_arena: trainer_step_arena(&ds),
+        };
+        std::fs::create_dir_all("results").ok();
+        let json = serde_json::to_vec_pretty(&report).expect("report serializes");
+        std::fs::write("results/BENCH_tensor.json", json).expect("write BENCH_tensor.json");
+        println!("wrote results/BENCH_tensor.json");
+    });
 }
 
 fn main() {
@@ -189,5 +380,7 @@ fn main() {
         std::fs::write("results/BENCH_parallel.json", json).expect("write BENCH_parallel.json");
         println!("wrote results/BENCH_parallel.json (host parallelism {avail})");
     }
+
+    tensor_bench(&wl, smoke);
     let _ = run.finish();
 }

@@ -1,0 +1,13 @@
+//! no-hot-alloc failing fixture: claimed at `crates/tensor/src/graph.rs`.
+//! Every fresh allocation below sits inside a hot-listed function, so each
+//! one is a per-step heap allocation the storage arena exists to remove.
+
+impl Graph {
+    fn propagate(&mut self, i: usize) {
+        let tmp = vec![0.0; 8];
+        let mut buf = Vec::with_capacity(8);
+        buf.extend_from_slice(&tmp);
+        let t = Tensor::zeros(&[2, 2]);
+        drop((buf, t, i));
+    }
+}

@@ -1,0 +1,21 @@
+//! no-hot-alloc passing fixture: claimed at `crates/tensor/src/graph.rs`.
+//! The hot function uses arena-backed storage and stack scratch; fresh heap
+//! allocations only appear in a cold (non-hot-listed) function.
+
+impl Graph {
+    fn propagate(&mut self, i: usize) {
+        let acc = Storage::zeroed(8);
+        let scratch = Storage::uninit(8);
+        shape::with_dims(6, |dims| {
+            dims[0] = i;
+        });
+        drop((acc, scratch));
+    }
+
+    fn build_report(&self) -> Vec<f64> {
+        // Cold path: allocation here is fine.
+        let mut rows = Vec::with_capacity(self.nodes.len());
+        rows.extend(vec![0.0; 4]);
+        rows
+    }
+}

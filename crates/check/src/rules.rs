@@ -47,6 +47,9 @@ const FLOAT_EQ_CRATES: [&str; 7] =
     ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs", "ppn-serve", "ppn-trace"];
 /// Crates whose public items must carry doc comments (`pub-doc`).
 const PUB_DOC_CRATES: [&str; 5] = ["ppn-core", "ppn-market", "ppn-serve", "ppn-obs", "ppn-trace"];
+/// Crates whose root may soften `forbid(unsafe_code)` to `deny` because they
+/// contain an audited unsafe module (see [`UNSAFE_ALLOWED_FILES`]).
+const DENY_UNSAFE_CRATES: [&str; 1] = ["ppn-tensor"];
 
 /// The full rule set, in reporting order.
 pub fn registry() -> Vec<Rule> {
@@ -93,6 +96,19 @@ pub fn registry() -> Vec<Rule> {
                           all other first-party code must go through the worker pool \
                           (determinism + PPN_THREADS control)",
             check: check_no_thread,
+        },
+        Rule {
+            id: "no-unsafe",
+            description: "unsafe_code is confined to the audited ppn-tensor storage/simd \
+                          modules, where every unsafe_code line needs an adjacent SAFETY comment",
+            check: check_no_unsafe,
+        },
+        Rule {
+            id: "no-hot-alloc",
+            description: "no fresh allocation (vec!/Vec::with_capacity/Tensor::zeros) inside \
+                          the tensor backward sweep and kernel inner functions — use the \
+                          storage arena or stack scratch",
+            check: check_no_hot_alloc,
         },
     ]
 }
@@ -390,8 +406,22 @@ fn check_lint_header(file: &SourceFile) -> Vec<Diagnostic> {
     }
     let head: String = file.lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
     let mut out = Vec::new();
-    if !head.contains("#![forbid(unsafe_code)]") {
+    // Crates with an audited unsafe module may use `deny` (module-level
+    // `allow` then opts the audited files in); everyone else must `forbid`.
+    let softened = DENY_UNSAFE_CRATES.contains(&file.crate_name.as_str());
+    let has_forbid = head.contains("#![forbid(unsafe_code)]");
+    if !softened && !has_forbid {
         out.push(diag(file, 0, "lint-header", "crate root missing #![forbid(unsafe_code)]".into()));
+    }
+    if softened && !has_forbid && !head.contains("#![deny(unsafe_code)]") {
+        out.push(diag(
+            file,
+            0,
+            "lint-header",
+            "crate root missing #![deny(unsafe_code)] (audited-unsafe crates may deny instead \
+             of forbid)"
+                .into(),
+        ));
     }
     if !head.contains("#![warn(missing_docs)]") && !head.contains("#![deny(missing_docs)]") {
         out.push(diag(
@@ -575,6 +605,184 @@ fn check_no_thread(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+/// The only files allowed to contain `unsafe` code: the aligned-allocation
+/// store and the AVX2 kernels. Both sit under a module-level
+/// `#![allow(unsafe_code)]` while the crate root stays `#![deny(unsafe_code)]`
+/// (see [`DENY_UNSAFE_CRATES`]), and every unsafe line inside them must carry
+/// an adjacent SAFETY comment — this rule audits exactly that.
+const UNSAFE_ALLOWED_FILES: [&str; 2] =
+    ["crates/tensor/src/storage.rs", "crates/tensor/src/simd.rs"];
+
+/// How many lines above an `unsafe` line a SAFETY comment may sit (covers a
+/// multi-line justification or an interleaved attribute).
+const SAFETY_COMMENT_REACH: usize = 3;
+
+/// Blanks out string and char literals so keyword scans don't trip on code
+/// that merely *mentions* a keyword in a message or pattern (e.g. the lint
+/// rules themselves). Quote characters are kept; contents become spaces.
+/// A string left open at end of line (`"…\` continuation) blanks the rest.
+fn blank_literals(code: &str) -> String {
+    let bytes = code.as_bytes();
+    let mut out = String::with_capacity(code.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    // Skip the escaped char so \" doesn't close the string.
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                    out.push(' ');
+                }
+                if i < bytes.len() {
+                    out.push('"');
+                    i += 1;
+                }
+            }
+            // Char literals ('x', '\n', '\''); lifetimes ('a) fall through.
+            b'\'' => {
+                let lit_len =
+                    if bytes.get(i + 1) == Some(&b'\\') && bytes.get(i + 3) == Some(&b'\'') {
+                        Some(4)
+                    } else if bytes.get(i + 1).is_some() && bytes.get(i + 2) == Some(&b'\'') {
+                        Some(3)
+                    } else {
+                        None
+                    };
+                match lit_len {
+                    Some(n) => {
+                        out.push('\'');
+                        out.push_str(&" ".repeat(n - 2));
+                        out.push('\'');
+                        i += n;
+                    }
+                    None => {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn check_no_unsafe(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.crate_name.starts_with("ppn") || file.role != Role::Lib {
+        return Vec::new();
+    }
+    let audited = UNSAFE_ALLOWED_FILES.iter().any(|p| file.path.ends_with(p));
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        // `unsafe_code` (the lint name in deny/allow attributes) is not a
+        // word-boundary match, so header attributes pass through here, and
+        // string contents are blanked so messages naming the keyword don't
+        // count as uses.
+        if file.in_test(i) || !has_word(&blank_literals(&line.code), "unsafe") {
+            continue;
+        }
+        if !audited {
+            // `unsafe_code` (not the bare keyword) keeps this rule's own
+            // messages from matching the word scan above.
+            out.push(diag(
+                file,
+                i,
+                "no-unsafe",
+                format!(
+                    "unsafe_code outside the audited storage/simd modules — route raw-pointer \
+                     work through ppn_tensor::storage (`{}`)",
+                    line.code.trim()
+                ),
+            ));
+            continue;
+        }
+        // The module-level opt-in attribute needs no per-line justification.
+        if line.code.contains("allow(unsafe_code)") {
+            continue;
+        }
+        let lo = i.saturating_sub(SAFETY_COMMENT_REACH);
+        let justified = (lo..=i).any(|j| file.lines[j].comment.contains("SAFETY"))
+            || (lo..=i).any(|j| file.lines[j].comment.contains("Safety"));
+        if !justified {
+            out.push(diag(
+                file,
+                i,
+                "no-unsafe",
+                format!(
+                    "unsafe_code without an adjacent SAFETY comment (same line or within {} \
+                     lines above) (`{}`)",
+                    SAFETY_COMMENT_REACH,
+                    line.code.trim()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// (file suffix, hot function names) pairs: the tape backward sweep and the
+/// kernel inner loops. A fresh heap allocation in these shows up on every
+/// training step and defeats the storage arena, so it must go through
+/// `Storage::uninit`/`Storage::zeroed` (arena-backed) or stack scratch
+/// (`shape::with_dims`) instead.
+const HOT_ALLOC_FILES: [(&str, &[&str]); 3] = [
+    ("crates/tensor/src/graph.rs", &["backward_with", "propagate", "accumulate"]),
+    ("crates/tensor/src/conv.rs", &["forward_plane", "grad_x_sample", "grad_w_plane"]),
+    ("crates/tensor/src/tensor.rs", &["matmul_rows"]),
+];
+
+/// Allocation constructs flagged inside the hot functions above.
+const HOT_ALLOC_PATTERNS: [(&str, &str); 3] = [
+    ("vec!", "vec! allocation"),
+    ("Vec::with_capacity", "Vec::with_capacity allocation"),
+    ("Tensor::zeros", "Tensor::zeros allocation"),
+];
+
+fn check_no_hot_alloc(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.role != Role::Lib {
+        return Vec::new();
+    }
+    let Some((_, hot_fns)) = HOT_ALLOC_FILES.iter().find(|(p, _)| file.path.ends_with(p)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        let Some((_, why)) = HOT_ALLOC_PATTERNS.iter().find(|(pat, _)| line.code.contains(pat))
+        else {
+            continue;
+        };
+        // Attribute the line to its innermost enclosing fn and check whether
+        // that fn is one of the audited hot paths.
+        let in_hot_fn = file.enclosing_fn(i).is_some_and(|(start, _)| {
+            let header = &file.lines[start].code;
+            hot_fns.iter().any(|name| {
+                header.contains(&format!("fn {name}(")) || header.contains(&format!("fn {name}<"))
+            })
+        });
+        if in_hot_fn {
+            out.push(diag(
+                file,
+                i,
+                "no-hot-alloc",
+                format!(
+                    "{why} inside a hot kernel/backward function — use the storage arena \
+                     (Storage::uninit/zeroed) or stack scratch (shape::with_dims) (`{}`)",
+                    line.code.trim()
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +863,94 @@ mod tests {
         // Third-party shims are out of scope.
         let shim = SourceFile::scan("crates/rand/src/x.rs", "rand", Role::Lib, src);
         assert!(check_no_thread(&shim).is_empty());
+    }
+
+    #[test]
+    fn blank_literals_masks_strings_and_char_literals() {
+        assert_eq!(blank_literals(r#"let s = "unsafe";"#), r#"let s = "      ";"#);
+        assert_eq!(blank_literals("let c = '\"'; x(\"unsafe\")"), "let c = ' '; x(\"      \")");
+        assert_eq!(blank_literals("fn f<'a>(x: &'a str) {}"), "fn f<'a>(x: &'a str) {}");
+        // An open string (line continuation) blanks through end of line.
+        assert_eq!(blank_literals(r#"m("unsafe and \"#), format!("m(\"{}", " ".repeat(12)));
+        assert!(!has_word(&blank_literals(r#"id: "no-unsafe","#), "unsafe"));
+        assert!(has_word(&blank_literals("unsafe { go() }"), "unsafe"));
+    }
+
+    #[test]
+    fn no_unsafe_flags_keyword_outside_audited_files() {
+        let src = "pub fn f(p: *mut f64) {\n    unsafe { *p = 1.0 };\n}";
+        let d = check_no_unsafe(&lib(src));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        // The deny/allow attribute spelling is not the keyword.
+        let attr = lib("#![deny(unsafe_code)]\npub fn f() {}");
+        assert!(check_no_unsafe(&attr).is_empty());
+        // Shims are out of scope.
+        let shim = SourceFile::scan("crates/rand/src/x.rs", "rand", Role::Lib, src);
+        assert!(check_no_unsafe(&shim).is_empty());
+    }
+
+    #[test]
+    fn no_unsafe_audited_files_require_safety_comments() {
+        let bare = "pub fn f(p: *mut f64) {\n    unsafe { *p = 1.0 };\n}";
+        let storage =
+            |src| SourceFile::scan("crates/tensor/src/storage.rs", "ppn-tensor", Role::Lib, src);
+        let d = check_no_unsafe(&storage(bare));
+        assert_eq!(d.len(), 1, "audited file still needs a SAFETY comment");
+        // Same line, directly above, and within-3-lines comments all count.
+        let same = "pub fn f(p: *mut f64) {\n    unsafe { *p = 1.0 }; // SAFETY: p is valid\n}";
+        assert!(check_no_unsafe(&storage(same)).is_empty());
+        let above = "pub fn f(p: *mut f64) {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p = 1.0 };\n}";
+        assert!(check_no_unsafe(&storage(above)).is_empty());
+        let doc = "/// # Safety\n/// Caller must pass a valid pointer.\n#[inline]\npub unsafe fn f(p: *mut f64) {}";
+        assert!(check_no_unsafe(&storage(doc)).is_empty());
+        // The module-level opt-in attribute needs no justification.
+        let optin = "#![allow(unsafe_code)]\npub fn f() {}";
+        assert!(check_no_unsafe(&storage(optin)).is_empty());
+        // A comment more than SAFETY_COMMENT_REACH lines away does not count.
+        let far = "pub fn f(p: *mut f64) {\n    // SAFETY: far away\n    let a = 1;\n    let b = 2;\n    let c = 3;\n    unsafe { *p = a as f64 + b as f64 + c as f64 };\n}";
+        assert_eq!(check_no_unsafe(&storage(far)).len(), 1);
+    }
+
+    #[test]
+    fn no_hot_alloc_flags_allocations_only_in_hot_fns() {
+        let graph =
+            |src| SourceFile::scan("crates/tensor/src/graph.rs", "ppn-tensor", Role::Lib, src);
+        let hot = "impl Graph {\n    fn propagate(&mut self, i: usize) {\n        let tmp = vec![0.0; 8];\n        let mut buf = Vec::with_capacity(8);\n        let t = Tensor::zeros(&[2, 2]);\n    }\n}";
+        let d = check_no_hot_alloc(&graph(hot));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].line, 3);
+        // The same allocations in a non-hot function pass.
+        let cold = "impl Graph {\n    fn build(&mut self) {\n        let tmp = vec![0.0; 8];\n        let t = Tensor::zeros(&[2, 2]);\n    }\n}";
+        assert!(check_no_hot_alloc(&graph(cold)).is_empty());
+        // Files outside the hot list are out of scope entirely.
+        let other = lib(hot);
+        assert!(check_no_hot_alloc(&other).is_empty());
+        // Arena-backed constructors are the sanctioned path.
+        let arena = "impl Graph {\n    fn propagate(&mut self, i: usize) {\n        let s = Storage::zeroed(8);\n        let u = Storage::uninit(8);\n    }\n}";
+        assert!(check_no_hot_alloc(&graph(arena)).is_empty());
+    }
+
+    #[test]
+    fn lint_header_accepts_deny_for_audited_crates() {
+        let tensor_root =
+            |src| SourceFile::scan("crates/tensor/src/lib.rs", "ppn-tensor", Role::Lib, src);
+        assert!(check_lint_header(&tensor_root("#![deny(unsafe_code)]\n#![warn(missing_docs)]"))
+            .is_empty());
+        assert!(check_lint_header(&tensor_root("#![forbid(unsafe_code)]\n#![warn(missing_docs)]"))
+            .is_empty());
+        let missing = check_lint_header(&tensor_root("#![warn(missing_docs)]"));
+        assert!(missing.iter().any(|d| d.message.contains("deny(unsafe_code)")));
+        // Non-audited crates must still forbid — deny is not enough.
+        let core_root = SourceFile::scan(
+            "crates/core/src/lib.rs",
+            "ppn-core",
+            Role::Lib,
+            "#![deny(unsafe_code)]\n#![warn(missing_docs)]",
+        );
+        assert!(check_lint_header(&core_root)
+            .iter()
+            .any(|d| d.message.contains("forbid(unsafe_code)")));
     }
 
     #[test]

@@ -176,3 +176,39 @@ fn diagnostics_render_rustc_style() {
     let rendered = format!("{}", ds[0]);
     assert!(rendered.starts_with("crates/baselines/src/x.rs:4: error[float-eq]:"), "{rendered}");
 }
+
+#[test]
+fn no_unsafe_fixtures() {
+    // Outside the audited storage/simd modules the keyword itself is the
+    // violation, SAFETY comment or not.
+    assert_eq!(
+        lint_fixture("no_unsafe_fail.rs", "crates/core/src/x.rs", "ppn-core"),
+        vec!["no-unsafe"; 2],
+    );
+    // Inside an audited file only the SAFETY-comment-less line is flagged.
+    assert_eq!(
+        lint_fixture("no_unsafe_fail.rs", "crates/tensor/src/storage.rs", "ppn-tensor"),
+        vec!["no-unsafe"; 1],
+    );
+    assert_eq!(
+        lint_fixture("no_unsafe_pass.rs", "crates/tensor/src/storage.rs", "ppn-tensor"),
+        Vec::<&str>::new(),
+    );
+}
+
+#[test]
+fn no_hot_alloc_fixtures() {
+    assert_eq!(
+        lint_fixture("no_hot_alloc_fail.rs", "crates/tensor/src/graph.rs", "ppn-tensor"),
+        vec!["no-hot-alloc"; 3],
+    );
+    assert_eq!(
+        lint_fixture("no_hot_alloc_pass.rs", "crates/tensor/src/graph.rs", "ppn-tensor"),
+        Vec::<&str>::new(),
+    );
+    // The same allocating source claimed at a non-hot path produces nothing.
+    assert_eq!(
+        lint_fixture("no_hot_alloc_fail.rs", "crates/tensor/src/optim.rs", "ppn-tensor"),
+        Vec::<&str>::new(),
+    );
+}

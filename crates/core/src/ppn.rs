@@ -21,6 +21,11 @@ use ppn_tensor::layers::{Conv2dLayer, ConvKind};
 use ppn_tensor::{Binding, Graph, NodeId, ParamStore};
 use rand::Rng;
 
+thread_local! {
+    /// Per-thread inference tape reused by [`PolicyNet::act_batch`].
+    static ACT_TAPE: std::cell::RefCell<Graph> = std::cell::RefCell::new(Graph::new());
+}
+
 /// Network variant (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Variant {
@@ -285,19 +290,26 @@ impl PolicyNet {
             self.cfg.window,
             self.cfg.features,
         );
-        let mut g = Graph::new();
+        // Reuse one tape per serving thread: reset keeps the node arena,
+        // and released tensor buffers are rebound from the storage arena on
+        // the next call instead of hitting the allocator.
+        let mut g = ACT_TAPE.try_with(std::cell::RefCell::take).unwrap_or_default();
+        g.reset();
         let bind = self.store.bind(&mut g);
         // Dropout disabled → rng unused; any cheap source works.
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let out = self.forward(&mut g, &bind, &batch, false, &mut rng);
         let data = g.value(out).data();
         let row = self.cfg.assets + 1;
-        data.chunks(row)
+        let actions: Vec<Vec<f64>> = data
+            .chunks(row)
             .map(|r| {
                 crate::contracts::assert_simplex(r, "PolicyNet::act_batch");
                 r.to_vec()
             })
-            .collect()
+            .collect();
+        let _ = ACT_TAPE.try_with(|cell| *cell.borrow_mut() = g);
+        actions
     }
 }
 

@@ -114,6 +114,10 @@ pub struct Trainer<'a> {
     opt: Adam,
     rng: StdRng,
     horizon: usize,
+    /// Tape reused across steps: resetting (rather than dropping) it keeps
+    /// its node arena, and the tensor buffers it releases each step are
+    /// rebound from the thread-local storage arena on the next sweep.
+    tape: ppn_tensor::Graph,
 }
 
 impl<'a> Trainer<'a> {
@@ -142,7 +146,17 @@ impl<'a> Trainer<'a> {
         let pvm = vec![uniform; dataset.split];
         let opt = Adam::new(train_cfg.lr);
         let rng = StdRng::seed_from_u64(train_cfg.seed ^ 0x5EED);
-        Trainer { dataset, net, reward_cfg, train_cfg, pvm, opt, rng, horizon: dataset.split }
+        Trainer {
+            dataset,
+            net,
+            reward_cfg,
+            train_cfg,
+            pvm,
+            opt,
+            rng,
+            horizon: dataset.split,
+            tape: ppn_tensor::Graph::new(),
+        }
     }
 
     /// Last period (exclusive) the trainer may sample outcomes from.
@@ -226,8 +240,10 @@ impl<'a> Trainer<'a> {
         let t_synth = ppn_obs::clock::now();
         tctx.emit_span("train.synth", wall, t_synth);
 
-        // Forward + reward + backward.
-        let mut g = ppn_tensor::Graph::new();
+        // Forward + reward + backward on the reused tape (taken out of
+        // `self` so the borrow checker allows `self.net` access below).
+        let mut g = std::mem::take(&mut self.tape);
+        g.reset();
         let bind = self.net.store.bind(&mut g);
         let actions = self.net.forward(&mut g, &bind, &batch, true, &mut self.rng);
         let nodes = cost_sensitive_reward(
@@ -264,6 +280,7 @@ impl<'a> Trainer<'a> {
             mean_turnover: g.value(nodes.mean_turnover).item(),
             grad_norm,
         };
+        self.tape = g;
         if ppn_obs::metrics_enabled() {
             ppn_obs::counter("train.steps").inc();
             ppn_obs::histogram("train.grad_norm", &[0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 50.0])

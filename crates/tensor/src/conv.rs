@@ -11,6 +11,7 @@
 //!   padding (kernel height = m, §4.3.2);
 //! * **Conv4 / decision conv** — VALID `1×k` and `1×1` convolutions.
 
+use crate::storage::Storage;
 use crate::tensor::Tensor;
 
 /// Dilation factors `(dh, dw)` for the two spatial axes.
@@ -145,7 +146,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) 
     let timer = crate::tensor::kernel_timer();
     let xd = x.data();
     let wd = w.data();
-    let mut out = vec![0.0; b * cout * oh * ow];
+    let mut out = Storage::zeroed(b * cout * oh * ow);
     let chunk = plane_chunk(dims.o_stride_c(), b * cout, dims.flops());
     crate::par::par_chunks_mut(&mut out, chunk, |ci, block| {
         let planes_per_chunk = chunk / dims.o_stride_c().max(1);
@@ -155,7 +156,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, dilation: Dilation, pad: Padding) 
         }
     });
     crate::tensor::observe_kernel_ms("tensor.conv_ms", timer);
-    Tensor::from_vec(&[b, cout, oh, ow], out)
+    Tensor::from_storage(&[b, cout, oh, ow], out)
 }
 
 /// Elements per pool chunk when splitting a buffer of `planes` planes of
@@ -174,6 +175,8 @@ fn plane_chunk(plane_len: usize, planes: usize, flops: usize) -> usize {
 /// hoisted padding bounds: the innermost loop is a contiguous branch-free
 /// AXPY over the output row.
 fn forward_plane(d: &ConvDims, xd: &[f64], wd: &[f64], bi: usize, oc: usize, plane: &mut [f64]) {
+    // One dispatch decision per plane, not per ~30-element row.
+    let simd = crate::simd::Dispatch::capture();
     for ic in 0..d.cin {
         let x_block = bi * d.x_stride_b() + ic * d.x_stride_c();
         let w_block = oc * d.w_stride_o() + ic * d.w_stride_c();
@@ -189,9 +192,7 @@ fn forward_plane(d: &ConvDims, xd: &[f64], wd: &[f64], bi: usize, oc: usize, pla
                     let iy = (oy as isize + iy_off) as usize;
                     let xs = &xd[x_block + iy * d.wid + ix_lo..][..n];
                     let os = &mut plane[oy * d.ow + ox_lo..][..n];
-                    for (o, &xv) in os.iter_mut().zip(xs) {
-                        *o += wv * xv;
-                    }
+                    simd.axpy(os, xs, wv);
                 }
             }
         }
@@ -225,8 +226,8 @@ pub fn conv2d_backward(
     let xd = x.data();
     let wd = w.data();
     let gd = grad_out.data();
-    let mut gx = vec![0.0; xd.len()];
-    let mut gw = vec![0.0; wd.len()];
+    let mut gx = Storage::zeroed(xd.len());
+    let mut gw = Storage::zeroed(wd.len());
 
     let gx_chunk = plane_chunk(dims.x_stride_b(), b, dims.flops());
     crate::par::par_chunks_mut(&mut gx, gx_chunk, |ci, block| {
@@ -244,7 +245,7 @@ pub fn conv2d_backward(
         }
     });
     crate::tensor::observe_kernel_ms("tensor.conv_ms", timer);
-    (Tensor::from_vec(x.shape(), gx), Tensor::from_vec(w.shape(), gw))
+    (Tensor::from_storage(x.shape(), gx), Tensor::from_storage(w.shape(), gw))
 }
 
 /// Input gradient for one batch sample `bi`; `gx_sample` is that sample's
@@ -252,6 +253,8 @@ pub fn conv2d_backward(
 /// backward (`oc, ic, ky, kx, oy`) so every `grad_x` element accumulates in
 /// the serial sequence.
 fn grad_x_sample(d: &ConvDims, wd: &[f64], gd: &[f64], bi: usize, gx_sample: &mut [f64]) {
+    // One dispatch decision per sample, not per ~30-element row.
+    let simd = crate::simd::Dispatch::capture();
     for oc in 0..d.cout {
         let g_block = bi * d.o_stride_b() + oc * d.o_stride_c();
         for ic in 0..d.cin {
@@ -266,9 +269,9 @@ fn grad_x_sample(d: &ConvDims, wd: &[f64], gd: &[f64], bi: usize, gx_sample: &mu
                         let iy = (oy as isize + iy_off) as usize;
                         let grow = &gd[g_block + oy * d.ow + ox_lo..][..n];
                         let gxrow = &mut gx_sample[x_block + iy * d.wid + ix_lo..][..n];
-                        for (gxv, &g) in gxrow.iter_mut().zip(grow) {
-                            *gxv += g * wv;
-                        }
+                        // g * wv == wv * g bitwise, so the AXPY form is
+                        // identical to the original `*gxv += g * wv` loop.
+                        simd.axpy(gxrow, grow, wv);
                     }
                 }
             }

@@ -6,6 +6,22 @@
 //! tape is in topological order by construction — backward is a single
 //! reverse sweep.
 //!
+//! ## Buffer reuse across steps
+//!
+//! Training replays the same network structure every step, so the tape's
+//! buffer population is identical sweep after sweep. The reuse plan is
+//! implicit in tensor lifetimes: [`Graph::reset`] (and the grad clear at
+//! the top of [`Graph::backward_with`]) drops each node's tensors, which
+//! parks their aligned buffers in the thread-local size-bucketed arena
+//! ([`crate::storage`]); the next sweep's node outputs and gradients then
+//! rebind those exact buffers (same size class → same free-list, LIFO).
+//! After the first step a steady-state trainer loop allocates nothing —
+//! observable via the `tensor.arena_hits` / `tensor.alloc_bytes` counters
+//! flushed at the end of every backward sweep, and via [`Graph::tape_stats`].
+//! Within a sweep, backward arms write into recycled buffers through
+//! [`crate::tensor::Tensor::add_assign`] instead of allocating fresh
+//! intermediates (the `ppn-check` `no-hot-alloc` rule keeps it that way).
+//!
 //! Typical training-step usage:
 //!
 //! ```
@@ -20,6 +36,8 @@
 //! ```
 
 use crate::conv::{conv2d_backward, conv2d_forward, Dilation, Padding};
+use crate::shape;
+use crate::storage::Storage;
 use crate::tensor::Tensor;
 use rand::Rng;
 
@@ -71,6 +89,17 @@ pub struct Graph {
     nodes: Vec<Node>,
 }
 
+/// Size summary of a tape, reported by [`Graph::tape_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Nodes on the tape.
+    pub nodes: usize,
+    /// Total elements across all node forward values.
+    pub value_elems: usize,
+    /// Total elements across all live gradients.
+    pub grad_elems: usize,
+}
+
 impl Graph {
     /// Empty tape.
     pub fn new() -> Self {
@@ -87,9 +116,22 @@ impl Graph {
         self.nodes.is_empty()
     }
 
-    /// Clears the tape for reuse, keeping its allocation.
+    /// Clears the tape for reuse, keeping its node allocation. Dropping the
+    /// nodes parks their value/grad buffers in the thread-local arena, so
+    /// the next sweep over the same network rebinds them instead of
+    /// allocating (see the module docs).
     pub fn reset(&mut self) {
         self.nodes.clear();
+    }
+
+    /// Aggregate tape size: what the buffer-reuse plan holds live.
+    pub fn tape_stats(&self) -> TapeStats {
+        let mut s = TapeStats { nodes: self.nodes.len(), ..TapeStats::default() };
+        for n in &self.nodes {
+            s.value_elems += n.value.len();
+            s.grad_elems += n.grad.as_ref().map_or(0, Tensor::len);
+        }
+        s
     }
 
     fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> NodeId {
@@ -258,7 +300,7 @@ impl Graph {
         // ppn-check: allow(no-panic) invariant: every graph tensor has rank >= 1
         let last = *shape.last().expect("softmax needs rank >= 1");
         let rows = t.len() / last;
-        let mut out = vec![0.0; t.len()];
+        let mut out = Storage::uninit(t.len());
         for r in 0..rows {
             let row = &t.data()[r * last..(r + 1) * last];
             let mx = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -273,7 +315,7 @@ impl Graph {
             }
         }
         let rg = self.rg(x);
-        self.push(Op::Softmax(x), Tensor::from_vec(&shape, out), rg)
+        self.push(Op::Softmax(x), Tensor::from_storage(&shape, out), rg)
     }
 
     /// Sum of all elements (scalar output).
@@ -330,7 +372,7 @@ impl Graph {
         let outer: usize = first[..axis].iter().product();
         let inner: usize = first[axis + 1..].iter().product();
         let row_out = total * inner;
-        let mut out = vec![0.0; outer * row_out];
+        let mut out = Storage::uninit(outer * row_out);
         let mut base = 0usize;
         for &x in xs {
             let t = self.value(x);
@@ -343,7 +385,7 @@ impl Graph {
             base += chunk;
         }
         let rg = xs.iter().any(|&x| self.rg(x));
-        self.push(Op::Concat(xs.to_vec(), axis), Tensor::from_vec(&out_shape, out), rg)
+        self.push(Op::Concat(xs.to_vec(), axis), Tensor::from_storage(&out_shape, out), rg)
     }
 
     /// Sub-range `start..end` of `axis`.
@@ -359,16 +401,16 @@ impl Graph {
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
         let take = (end - start) * inner;
-        let mut out = Vec::with_capacity(outer * take);
+        let mut out = Storage::uninit(outer * take);
         {
             let data = self.value(x).data();
             for o in 0..outer {
                 let row = o * mid * inner + start * inner;
-                out.extend_from_slice(&data[row..row + take]);
+                out[o * take..(o + 1) * take].copy_from_slice(&data[row..row + take]);
             }
         }
         let rg = self.rg(x);
-        self.push(Op::Slice { x, axis, start, end }, Tensor::from_vec(&out_shape, out), rg)
+        self.push(Op::Slice { x, axis, start, end }, Tensor::from_storage(&out_shape, out), rg)
     }
 
     /// Shape change preserving element order.
@@ -453,6 +495,7 @@ impl Graph {
             self.propagate(i, &g);
             self.nodes[i].grad = Some(g);
         }
+        crate::storage::flush_obs_counters();
     }
 
     fn accumulate(&mut self, id: NodeId, delta: Tensor) {
@@ -460,6 +503,9 @@ impl Graph {
             return;
         }
         match &mut self.nodes[id.0].grad {
+            // Same-shape accumulation reuses the existing buffer in place
+            // (bit-identical to `g.add(&delta)` for equal shapes).
+            Some(g) if g.shape() == delta.shape() => g.add_assign(&delta),
             Some(g) => *g = g.add(&delta),
             slot @ None => *slot = Some(delta),
         }
@@ -494,11 +540,15 @@ impl Graph {
                 self.accumulate(b, gb);
             }
             Op::Div(a, b) => {
-                let va = self.value(a).clone();
-                let vb = self.value(b).clone();
-                let ga = Self::reduce_to(&g.div(&vb), va.shape());
-                let gb_full = g.mul(&va).div(&vb.mul(&vb)).scale(-1.0);
-                let gb = Self::reduce_to(&gb_full, vb.shape());
+                // Borrow the operand values in a scope that ends before the
+                // mutable accumulate calls — no defensive clones.
+                let (ga, gb) = {
+                    let va = self.value(a);
+                    let vb = self.value(b);
+                    let ga = Self::reduce_to(&g.div(vb), va.shape());
+                    let gb_full = g.mul(va).div(&vb.mul(vb)).scale(-1.0);
+                    (ga, Self::reduce_to(&gb_full, vb.shape()))
+                };
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }
@@ -527,8 +577,8 @@ impl Graph {
                 self.accumulate(x, g.mul(&d));
             }
             Op::Exp(x) => {
-                let y = self.nodes[i].value.clone();
-                self.accumulate(x, g.mul(&y));
+                let gx = g.mul(&self.nodes[i].value);
+                self.accumulate(x, gx);
             }
             Op::Log(x) => {
                 let d = self.value(x).map(|v| 1.0 / v);
@@ -557,20 +607,23 @@ impl Graph {
             }
             Op::Softmax(x) => {
                 // Per-row: dx = y ⊙ (g − ⟨g, y⟩)
-                let y = self.nodes[i].value.clone();
-                // ppn-check: allow(no-panic) invariant: softmax output keeps its input's rank >= 1
-                let last = *y.shape().last().expect("softmax output has rank >= 1");
-                let rows = y.len() / last;
-                let mut dx = vec![0.0; y.len()];
-                for r in 0..rows {
-                    let yr = &y.data()[r * last..(r + 1) * last];
-                    let gr = &g.data()[r * last..(r + 1) * last];
-                    let dot: f64 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
-                    for j in 0..last {
-                        dx[r * last + j] = yr[j] * (gr[j] - dot);
+                let gx = {
+                    let y = &self.nodes[i].value;
+                    // ppn-check: allow(no-panic) invariant: softmax output keeps its input's rank >= 1
+                    let last = *y.shape().last().expect("softmax output has rank >= 1");
+                    let rows = y.len() / last;
+                    let mut dx = Storage::uninit(y.len());
+                    for r in 0..rows {
+                        let yr = &y.data()[r * last..(r + 1) * last];
+                        let gr = &g.data()[r * last..(r + 1) * last];
+                        let dot: f64 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                        for j in 0..last {
+                            dx[r * last + j] = yr[j] * (gr[j] - dot);
+                        }
                     }
-                }
-                self.accumulate(x, Tensor::from_vec(y.shape(), dx));
+                    Tensor::from_storage(y.shape(), dx)
+                };
+                self.accumulate(x, gx);
             }
             Op::Sum(x) => {
                 let gx = Tensor::full(self.value(x).shape(), g.item());
@@ -587,14 +640,14 @@ impl Graph {
                 let outer: usize = xs[..axis].iter().product();
                 let mid = xs[axis];
                 let inner: usize = xs[axis + 1..].iter().product();
-                let mut gx = vec![0.0; outer * mid * inner];
+                let mut gx = Storage::uninit(outer * mid * inner);
                 for o in 0..outer {
                     let src = &g.data()[o * inner..(o + 1) * inner];
                     for m in 0..mid {
                         gx[(o * mid + m) * inner..(o * mid + m + 1) * inner].copy_from_slice(src);
                     }
                 }
-                self.accumulate(x, Tensor::from_vec(&xs, gx));
+                self.accumulate(x, Tensor::from_storage(&xs, gx));
             }
             Op::Concat(xs, axis) => {
                 let out_shape = self.nodes[i].value.shape().to_vec();
@@ -605,14 +658,14 @@ impl Graph {
                 for x in xs {
                     let s = self.value(x).shape().to_vec();
                     let chunk = s[axis] * inner;
-                    let mut gx = Vec::with_capacity(outer * chunk);
+                    let mut gx = Storage::uninit(outer * chunk);
                     for o in 0..outer {
-                        gx.extend_from_slice(
+                        gx[o * chunk..(o + 1) * chunk].copy_from_slice(
                             &g.data()[o * row_out + base..o * row_out + base + chunk],
                         );
                     }
                     base += chunk;
-                    self.accumulate(x, Tensor::from_vec(&s, gx));
+                    self.accumulate(x, Tensor::from_storage(&s, gx));
                 }
             }
             Op::Slice { x, axis, start, end } => {
@@ -621,24 +674,28 @@ impl Graph {
                 let mid = s[axis];
                 let inner: usize = s[axis + 1..].iter().product();
                 let take = (end - start) * inner;
-                let mut gx = vec![0.0; outer * mid * inner];
+                // Zeroed, not uninit: only the sliced range is overwritten.
+                let mut gx = Storage::zeroed(outer * mid * inner);
                 for o in 0..outer {
                     let dst = o * mid * inner + start * inner;
                     gx[dst..dst + take].copy_from_slice(&g.data()[o * take..(o + 1) * take]);
                 }
-                self.accumulate(x, Tensor::from_vec(&s, gx));
+                self.accumulate(x, Tensor::from_storage(&s, gx));
             }
             Op::Reshape(x) => {
                 let s = self.value(x).shape().to_vec();
                 self.accumulate(x, g.reshape(&s));
             }
             Op::Permute(x, perm) => {
-                // Inverse permutation routes the gradient back.
-                let mut inv = vec![0usize; perm.len()];
-                for (i, &p) in perm.iter().enumerate() {
-                    inv[p] = i;
-                }
-                self.accumulate(x, g.permute(&inv));
+                // Inverse permutation routes the gradient back; the inverse
+                // lives in stack scratch.
+                let gx = shape::with_dims(perm.len(), |inv| {
+                    for (i, &p) in perm.iter().enumerate() {
+                        inv[p] = i;
+                    }
+                    g.permute(inv)
+                });
+                self.accumulate(x, gx);
             }
             Op::Conv2d { x, w, dilation, pad } => {
                 let (gx, gw) = conv2d_backward(self.value(x), self.value(w), g, dilation, pad);

@@ -1,4 +1,8 @@
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `storage` and `simd` modules carry the
+// crate's only audited `unsafe` (aligned allocation + AVX2 intrinsics) under
+// a module-level `allow`; everything else still refuses unsafe code. The
+// ppn-check `no-unsafe` rule audits every unsafe line in those two modules.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 //! # ppn-tensor
 //!
@@ -20,7 +24,11 @@
 //!   the test suites to certify every backward rule,
 //! * a scoped worker pool ([`par`]) behind the `PPN_THREADS` environment
 //!   variable that parallelises the dominant kernels (`matmul`, the conv
-//!   forward/backward) with bit-identical results at every thread count.
+//!   forward/backward) with bit-identical results at every thread count,
+//! * a 32-byte-aligned backing store with a thread-local buffer-reuse
+//!   arena ([`storage`]) and register-blocked AXPY kernels ([`simd`],
+//!   optional AVX2 behind the `simd` cargo feature, `PPN_SIMD=0` kill
+//!   switch) — all bit-identical to the naive scalar loops.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +58,8 @@ pub mod layers;
 pub mod optim;
 pub mod par;
 pub mod shape;
+pub mod simd;
+pub mod storage;
 pub mod tensor;
 
 pub use graph::{Graph, NodeId};

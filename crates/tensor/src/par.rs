@@ -126,6 +126,13 @@ pub fn par_chunks_mut<T: Send>(
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(chunk_len > 0, "par_chunks_mut chunk_len must be positive");
+    // Serial / single-chunk fast path: no chunk-list allocation, no queue.
+    if threads() <= 1 || data.len() <= chunk_len {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
     let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
     dispatch(chunks, |(i, chunk)| f(i, chunk));
 }

@@ -4,18 +4,51 @@
 //! workloads use rank 1–4), so shapes are plain `Vec<usize>` and all index
 //! math is done eagerly here.
 
+/// Highest tensor rank the stack-allocated index scratch covers; higher
+/// ranks fall back to a heap allocation inside [`with_dims`].
+pub const MAX_RANK: usize = 8;
+
+/// Scratch capacity: broadcast walks need up to three `MAX_RANK`-sized
+/// arrays (two stride sets plus an odometer index).
+const STACK_DIMS: usize = 3 * MAX_RANK;
+
 /// Number of elements implied by a shape. The empty shape denotes a scalar
 /// and has one element.
 pub fn numel(shape: &[usize]) -> usize {
     shape.iter().product()
 }
 
+/// Runs `f` over an `n`-element zeroed `usize` scratch slice, stack-allocated
+/// for `n <= 3 * MAX_RANK` so broadcast/permute inner paths stay free of
+/// per-call heap traffic.
+pub(crate) fn with_dims<R>(n: usize, f: impl FnOnce(&mut [usize]) -> R) -> R {
+    if n <= STACK_DIMS {
+        let mut buf = [0usize; STACK_DIMS];
+        f(&mut buf[..n])
+    } else {
+        let mut buf = vec![0usize; n];
+        f(&mut buf)
+    }
+}
+
+/// Row-major strides for `shape`, written into a caller-provided slice of
+/// the same length (allocation-free counterpart of [`strides`]).
+pub fn strides_into(shape: &[usize], out: &mut [usize]) {
+    debug_assert_eq!(shape.len(), out.len());
+    let n = shape.len();
+    if n == 0 {
+        return;
+    }
+    out[n - 1] = 1;
+    for i in (0..n - 1).rev() {
+        out[i] = out[i + 1] * shape[i + 1];
+    }
+}
+
 /// Row-major strides for `shape`.
 pub fn strides(shape: &[usize]) -> Vec<usize> {
     let mut s = vec![1usize; shape.len()];
-    for i in (0..shape.len().saturating_sub(1)).rev() {
-        s[i] = s[i + 1] * shape[i + 1];
-    }
+    strides_into(shape, &mut s);
     s
 }
 
@@ -159,5 +192,28 @@ mod tests {
     fn numel_scalar_is_one() {
         assert_eq!(numel(&[]), 1);
         assert_eq!(numel(&[2, 0, 4]), 0);
+    }
+
+    #[test]
+    fn strides_into_matches_strides() {
+        for shape in [vec![], vec![5], vec![2, 3, 4], vec![1, 1, 7, 2]] {
+            let mut out = vec![9usize; shape.len()];
+            strides_into(&shape, &mut out);
+            assert_eq!(out, strides(&shape), "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn with_dims_zeroes_and_sizes_scratch() {
+        // Stack path.
+        with_dims(5, |s| {
+            assert_eq!(s.len(), 5);
+            assert!(s.iter().all(|&v| v == 0));
+        });
+        // Heap fallback beyond the stack capacity.
+        with_dims(STACK_DIMS + 3, |s| {
+            assert_eq!(s.len(), STACK_DIMS + 3);
+            assert!(s.iter().all(|&v| v == 0));
+        });
     }
 }

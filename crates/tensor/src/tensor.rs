@@ -1,28 +1,42 @@
 //! Dense row-major `f64` tensor.
 //!
 //! This is the value type flowing through the autodiff graph. It is
-//! deliberately simple: owned `Vec<f64>` storage, eager ops, no views. The
-//! PPN workloads are small (m ≤ 64 assets, k = 30 periods, ≤ 16 channels), so
-//! clarity and testability win over zero-copy cleverness.
+//! deliberately simple: owned 32-byte-aligned [`Storage`], eager ops, no
+//! views. The PPN workloads are small (m ≤ 64 assets, k = 30 periods, ≤ 16
+//! channels), so clarity and testability win over zero-copy cleverness —
+//! but the backing store and the matmul inner loop are tuned (alignment,
+//! register blocking, arena reuse; see [`crate::storage`] and
+//! [`crate::simd`]) because they dominate every trainer step.
 
 use crate::shape::{self, broadcast, numel};
+use crate::storage::Storage;
 
-/// Per-output-dim source strides for a broadcast operand: 0 where the
-/// operand's dim is 1 (or absent), its row-major stride otherwise.
-fn broadcast_strides(src: &[usize], out: &[usize]) -> Vec<usize> {
+/// Per-output-dim source strides for a broadcast operand, written into
+/// `dst` (length `out.len()`): 0 where the operand's dim is 1 (or absent),
+/// its row-major stride otherwise. Allocation-free: `dst` comes from the
+/// caller's [`shape::with_dims`] scratch.
+fn broadcast_strides_into(src: &[usize], out: &[usize], dst: &mut [usize]) {
+    debug_assert_eq!(dst.len(), out.len());
     let skip = out.len() - src.len();
-    let st = shape::strides(src);
-    (0..out.len()).map(|d| if d < skip || src[d - skip] == 1 { 0 } else { st[d - skip] }).collect()
+    for d in dst[..skip].iter_mut() {
+        *d = 0;
+    }
+    shape::strides_into(src, &mut dst[skip..]);
+    for (d, &s) in dst[skip..].iter_mut().zip(src) {
+        if s == 1 {
+            *d = 0;
+        }
+    }
 }
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Ser, Serialize, Value};
 use std::fmt;
 
 /// A dense, row-major, `f64` n-dimensional array.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f64>,
+    data: Storage,
 }
 
 impl Tensor {
@@ -39,17 +53,24 @@ impl Tensor {
             numel(shape),
             data.len()
         );
+        Tensor { shape: shape.to_vec(), data: Storage::from_slice(&data) }
+    }
+
+    /// Builds a tensor directly over an aligned buffer (internal fast path;
+    /// callers must have sized the buffer to the shape).
+    pub(crate) fn from_storage(shape: &[usize], data: Storage) -> Self {
+        debug_assert_eq!(numel(shape), data.len());
         Tensor { shape: shape.to_vec(), data }
     }
 
     /// A scalar tensor (empty shape).
     pub fn scalar(v: f64) -> Self {
-        Tensor { shape: vec![], data: vec![v] }
+        Tensor { shape: vec![], data: Storage::filled(1, v) }
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+        Tensor { shape: shape.to_vec(), data: Storage::zeroed(numel(shape)) }
     }
 
     /// All-ones tensor.
@@ -59,13 +80,13 @@ impl Tensor {
 
     /// Constant-filled tensor.
     pub fn full(shape: &[usize], v: f64) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![v; numel(shape)] }
+        Tensor { shape: shape.to_vec(), data: Storage::filled(numel(shape), v) }
     }
 
     /// Standard-normal-filled tensor scaled by `std`.
     pub fn randn<R: Rng>(rng: &mut R, shape: &[usize], std: f64) -> Self {
         let n = numel(shape);
-        let mut data = Vec::with_capacity(n);
+        let mut data = Storage::with_capacity(n);
         // Box–Muller; rand 0.8's Standard distribution gives uniforms.
         while data.len() < n {
             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -110,9 +131,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor returning its buffer.
+    /// Consumes the tensor returning its buffer as a plain `Vec` (copies;
+    /// the aligned storage itself returns to the arena).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.to_vec()
     }
 
     /// Value of a scalar tensor (or any single-element tensor).
@@ -146,7 +168,11 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = Storage::uninit(self.data.len());
+        for (d, &x) in data.iter_mut().zip(self.data.iter()) {
+            *d = f(x);
+        }
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// Elementwise binary op with NumPy-style broadcasting.
@@ -155,39 +181,58 @@ impl Tensor {
     /// Panics if shapes are not broadcast-compatible.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
         if self.shape == other.shape {
-            let data =
-                self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
+            let mut data = Storage::uninit(self.data.len());
+            for (d, (&a, &b)) in data.iter_mut().zip(self.data.iter().zip(other.data.iter())) {
+                *d = f(a, b);
+            }
             return Tensor { shape: self.shape.clone(), data };
         }
         let out_shape = broadcast(&self.shape, &other.shape)
             // ppn-check: allow(no-panic) documented precondition — see `# Panics` above
             .unwrap_or_else(|| panic!("broadcast {:?} vs {:?}", self.shape, other.shape));
         // Odometer walk with per-dim source strides (0 on broadcast dims):
-        // no per-element index vectors, single pass over the output.
+        // no per-element index vectors, single pass over the output. The
+        // stride/index scratch lives on the stack (rank ≤ MAX_RANK).
         let rank = out_shape.len();
-        let sa = broadcast_strides(&self.shape, &out_shape);
-        let sb = broadcast_strides(&other.shape, &out_shape);
         let n = numel(&out_shape);
-        let mut data = Vec::with_capacity(n);
-        let mut idx = vec![0usize; rank];
-        let mut oa = 0usize;
-        let mut ob = 0usize;
-        for _ in 0..n {
-            data.push(f(self.data[oa], other.data[ob]));
-            // Advance the odometer, updating offsets incrementally.
-            for d in (0..rank).rev() {
-                idx[d] += 1;
-                oa += sa[d];
-                ob += sb[d];
-                if idx[d] < out_shape[d] {
-                    break;
+        let mut data = Storage::uninit(n);
+        shape::with_dims(3 * rank, |scratch| {
+            let (sa, rest) = scratch.split_at_mut(rank);
+            let (sb, idx) = rest.split_at_mut(rank);
+            broadcast_strides_into(&self.shape, &out_shape, sa);
+            broadcast_strides_into(&other.shape, &out_shape, sb);
+            let mut oa = 0usize;
+            let mut ob = 0usize;
+            for out in data.iter_mut() {
+                *out = f(self.data[oa], other.data[ob]);
+                // Advance the odometer, updating offsets incrementally.
+                for d in (0..rank).rev() {
+                    idx[d] += 1;
+                    oa += sa[d];
+                    ob += sb[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    oa -= sa[d] * idx[d];
+                    ob -= sb[d] * idx[d];
+                    idx[d] = 0;
                 }
-                oa -= sa[d] * idx[d];
-                ob -= sb[d] * idx[d];
-                idx[d] = 0;
             }
-        }
+        });
         Tensor { shape: out_shape, data }
+    }
+
+    /// In-place elementwise addition of a same-shape tensor; the
+    /// allocation-free gradient-accumulation path (bit-identical to
+    /// `self.add(other)` for equal shapes).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
     }
 
     /// Elementwise addition (broadcasting).
@@ -255,9 +300,9 @@ impl Tensor {
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {:?} x {:?}", self.shape, other.shape);
         let timer = kernel_timer();
-        let mut out = vec![0.0; n * m];
-        let a = &self.data;
-        let b = &other.data;
+        let mut out = Storage::zeroed(n * m);
+        let a = &self.data[..];
+        let b = &other.data[..];
         let rows_per_chunk = matmul_rows_per_chunk(n, k, m);
         crate::par::par_chunks_mut(&mut out, (rows_per_chunk * m).max(1), |ci, block| {
             matmul_rows(a, b, ci * rows_per_chunk, block, k, m);
@@ -273,7 +318,7 @@ impl Tensor {
     pub fn transpose2(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "transpose2 on {:?}", self.shape);
         let (n, m) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; n * m];
+        let mut out = Storage::uninit(n * m);
         for i in 0..n {
             for j in 0..m {
                 out[j * n + i] = self.data[i * m + j];
@@ -293,25 +338,31 @@ impl Tensor {
         let rank = perm.len();
         let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         // Walk the output in order; the source offset follows an odometer
-        // with strides permuted from the input layout.
-        let in_strides = shape::strides(&self.shape);
-        let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        // with strides permuted from the input layout. All stride/index
+        // scratch is stack-allocated.
         let n = self.data.len();
-        let mut data = Vec::with_capacity(n);
-        let mut idx = vec![0usize; rank];
-        let mut off = 0usize;
-        for _ in 0..n {
-            data.push(self.data[off]);
-            for d in (0..rank).rev() {
-                idx[d] += 1;
-                off += src_strides[d];
-                if idx[d] < out_shape[d] {
-                    break;
-                }
-                off -= src_strides[d] * idx[d];
-                idx[d] = 0;
+        let mut data = Storage::uninit(n);
+        shape::with_dims(3 * rank, |scratch| {
+            let (in_strides, rest) = scratch.split_at_mut(rank);
+            let (src_strides, idx) = rest.split_at_mut(rank);
+            shape::strides_into(&self.shape, in_strides);
+            for (d, &p) in perm.iter().enumerate() {
+                src_strides[d] = in_strides[p];
             }
-        }
+            let mut off = 0usize;
+            for out in data.iter_mut() {
+                *out = self.data[off];
+                for d in (0..rank).rev() {
+                    idx[d] += 1;
+                    off += src_strides[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    off -= src_strides[d] * idx[d];
+                    idx[d] = 0;
+                }
+            }
+        });
         Tensor { shape: out_shape, data }
     }
 
@@ -323,7 +374,7 @@ impl Tensor {
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
-        let mut out = vec![0.0; outer * inner];
+        let mut out = Storage::zeroed(outer * inner);
         for o in 0..outer {
             for m in 0..mid {
                 let src = &self.data[(o * mid + m) * inner..(o * mid + m + 1) * inner];
@@ -367,29 +418,31 @@ impl Tensor {
             self.shape
         );
         let rank = self.shape.len();
-        let st = broadcast_strides(target, &self.shape);
-        let mut out = vec![0.0; numel(target)];
-        let mut idx = vec![0usize; rank];
-        let mut off = 0usize;
-        for &v in &self.data {
-            out[off] += v;
-            for d in (0..rank).rev() {
-                idx[d] += 1;
-                off += st[d];
-                if idx[d] < self.shape[d] {
-                    break;
+        let mut out = Storage::zeroed(numel(target));
+        shape::with_dims(2 * rank, |scratch| {
+            let (st, idx) = scratch.split_at_mut(rank);
+            broadcast_strides_into(target, &self.shape, st);
+            let mut off = 0usize;
+            for &v in self.data.iter() {
+                out[off] += v;
+                for d in (0..rank).rev() {
+                    idx[d] += 1;
+                    off += st[d];
+                    if idx[d] < self.shape[d] {
+                        break;
+                    }
+                    off -= st[d] * idx[d];
+                    idx[d] = 0;
                 }
-                off -= st[d] * idx[d];
-                idx[d] = 0;
             }
-        }
+        });
         Tensor { shape: target.to_vec(), data: out }
     }
 
     /// Max absolute difference against another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
         assert_eq!(self.shape, other.shape);
-        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -425,31 +478,94 @@ fn matmul_rows_per_chunk(n: usize, k: usize, m: usize) -> usize {
 }
 
 /// Computes output rows `i0..` of `a (n,k) × b (k,m)` into `out_block`
-/// (`rows × m`, row-major). `k` is tiled so a `K_TILE × m` panel of `b`
-/// stays cache-hot across the row sweep; the tile loop still visits `k` in
-/// ascending order for every element, keeping the accumulation order equal
-/// to the naive loop.
+/// (`rows × m`, row-major), i-k-j order with two levels of blocking:
+///
+/// * `k` is tiled (`K_TILE`) so a panel of `b` stays cache-hot across the
+///   row sweep,
+/// * rows are processed four at a time so each loaded `b` row feeds four
+///   accumulator rows ([`crate::simd::axpy4`]), which keeps the unit-stride
+///   inner loop register-bound instead of load-bound.
+///
+/// Every output element still accumulates over `k` in ascending order —
+/// blocking only reorders *which element* is updated next, never the term
+/// order within an element — so results are bit-identical to the naive
+/// triple loop at any block size, thread count, or SIMD setting.
 fn matmul_rows(a: &[f64], b: &[f64], i0: usize, out_block: &mut [f64], k: usize, m: usize) {
     const K_TILE: usize = 64;
     if m == 0 {
         return;
     }
+    // One dispatch decision per row block, hoisted out of the k-tile loops.
+    let simd = crate::simd::Dispatch::capture();
     let rows = out_block.len() / m;
     let mut kb = 0;
     while kb < k {
         let ke = (kb + K_TILE).min(k);
-        for r in 0..rows {
+        let mut r = 0;
+        while r + 4 <= rows {
+            // Four disjoint output rows, one shared b panel.
+            let (quad, _) = out_block[r * m..].split_at_mut(4 * m);
+            let (o0, rest) = quad.split_at_mut(m);
+            let (o1, rest) = rest.split_at_mut(m);
+            let (o2, o3) = rest.split_at_mut(m);
+            let a0 = &a[(i0 + r) * k..(i0 + r + 1) * k];
+            let a1 = &a[(i0 + r + 1) * k..(i0 + r + 2) * k];
+            let a2 = &a[(i0 + r + 2) * k..(i0 + r + 3) * k];
+            let a3 = &a[(i0 + r + 3) * k..(i0 + r + 4) * k];
+            for kk in kb..ke {
+                let brow = &b[kk * m..(kk + 1) * m];
+                simd.axpy4(
+                    [&mut *o0, &mut *o1, &mut *o2, &mut *o3],
+                    brow,
+                    [a0[kk], a1[kk], a2[kk], a3[kk]],
+                );
+            }
+            r += 4;
+        }
+        while r < rows {
             let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
             let orow = &mut out_block[r * m..(r + 1) * m];
             for kk in kb..ke {
-                let av = arow[kk];
-                let brow = &b[kk * m..(kk + 1) * m];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+                simd.axpy(orow, &b[kk * m..(kk + 1) * m], arow[kk]);
             }
+            r += 1;
         }
         kb = ke;
+    }
+}
+
+// Manual serde impls (the derive macro only handles Vec-backed fields):
+// same JSON shape as the old `#[derive]` — `{"shape":[...],"data":[...]}` —
+// so existing checkpoints round-trip unchanged.
+impl Serialize for Tensor {
+    fn serialize(&self, s: &mut Ser) {
+        s.begin_obj();
+        s.key("shape");
+        self.shape.serialize(s);
+        s.key("data");
+        s.begin_arr();
+        for &v in self.data.iter() {
+            s.elem();
+            s.write_f64(v);
+        }
+        s.end_arr();
+        s.end_obj();
+    }
+}
+
+impl Deserialize for Tensor {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let shape = Vec::<usize>::deserialize(v.field("shape")?)?;
+        let data = Vec::<f64>::deserialize(v.field("data")?)?;
+        if numel(&shape) != data.len() {
+            return Err(Error::msg(format!(
+                "tensor shape {:?} wants {} elements, got {}",
+                shape,
+                numel(&shape),
+                data.len()
+            )));
+        }
+        Ok(Tensor { shape, data: Storage::from_slice(&data) })
     }
 }
 
