@@ -298,8 +298,8 @@ fn main() {
     }
     let mk_registry = || {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut registry = ModelRegistry::new();
-        registry.insert("probe", PolicyNet::new(Variant::PpnLstm, small_cfg(4), &mut rng));
+        let registry = std::sync::Arc::new(ModelRegistry::new());
+        registry.publish("probe", PolicyNet::new(Variant::PpnLstm, small_cfg(4), &mut rng));
         registry
     };
 

@@ -1,0 +1,271 @@
+//! Probe for the ppn-stream online-adaptation pipeline.
+//!
+//! Four phases, all against a stitched two-regime dataset (up-drift then
+//! down-drift, spliced price-continuously so the seam is a genuine
+//! mid-stream regime shift):
+//!
+//! 1. **Live run** — a full-speed [`StreamService`] replays the live feed
+//!    end to end: bars/sec, online gradient updates/sec, and the
+//!    publish/promotion tally.
+//! 2. **Swap latency** — repeated registry publishes of fresh snapshots
+//!    against the served name: p50/p99/max of the pointer-swap itself.
+//! 3. **Divergence overhead** — repeated shadow comparisons between two
+//!    versions: the per-promotion safety-gate cost.
+//! 4. **Rollback demo** — a wildly divergent candidate is pushed through
+//!    the promotion gate with a tight threshold and must be rolled back,
+//!    restoring the previous version bit-for-bit.
+//!
+//! Results land in `results/BENCH_stream.json`. `--smoke` runs the same
+//! phases at reduced scale and still writes the JSON (the CI artifact); the
+//! correctness assertions (swap landed, rollback restored, live serving
+//! never interrupted) hold in both modes.
+
+use ppn_core::prelude::*;
+use ppn_market::{stitched_dataset, Dataset, MarketConfig, Preset};
+use ppn_serve::ModelRegistry;
+use ppn_stream::{promote, shadow_divergence, PromotionOutcome, StreamConfig, StreamService};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ASSETS: usize = 4;
+
+#[derive(serde::Serialize)]
+struct LiveRunSample {
+    live_bars: u64,
+    steps_per_bar: usize,
+    publish_every: usize,
+    duration_s: f64,
+    bars_per_s: f64,
+    updates_per_s: f64,
+    publishes: u64,
+    promoted: u64,
+    rolled_back: u64,
+    final_version: u64,
+}
+
+#[derive(serde::Serialize)]
+struct SwapSample {
+    samples: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DivergenceSample {
+    shadow_window: usize,
+    samples: usize,
+    mean_ms: f64,
+    p99_ms: f64,
+    max_l1: f64,
+}
+
+#[derive(serde::Serialize)]
+struct RollbackSample {
+    candidate_version: u64,
+    restored_version: u64,
+    max_l1: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchStream {
+    model: String,
+    assets: usize,
+    window: usize,
+    split: usize,
+    periods: usize,
+    live_run: LiveRunSample,
+    swap: SwapSample,
+    divergence_check: DivergenceSample,
+    rollback_demo: RollbackSample,
+}
+
+fn small_cfg() -> NetConfig {
+    NetConfig { window: 8, lstm_hidden: 4, tccb_channels: [3, 4, 4], ..NetConfig::paper(ASSETS) }
+}
+
+fn regime_shift_dataset(periods_per_regime: usize, split: usize) -> Arc<Dataset> {
+    let up = MarketConfig {
+        assets: ASSETS,
+        periods: periods_per_regime,
+        seed: 11,
+        drift: 2e-3,
+        momentum: 0.3,
+        ..MarketConfig::default()
+    };
+    let down = MarketConfig { seed: 22, drift: -2e-3, ..up.clone() };
+    Arc::new(stitched_dataset(Preset::CryptoA, &[up, down], split))
+}
+
+fn fresh_net(seed: u64) -> PolicyNet {
+    PolicyNet::new(Variant::PpnLstm, small_cfg(), &mut StdRng::seed_from_u64(seed))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = ppn_bench::start_run("stream_probe");
+
+    let (per_regime, split, publish_every) = if smoke { (200, 180, 25) } else { (900, 600, 50) };
+    let ds = regime_shift_dataset(per_regime, split);
+    let live_bars = (ds.periods() - split) as u64;
+    let cfg = small_cfg();
+    println!(
+        "stream_probe: {} assets, {} periods ({} live bars), regime seam at {}",
+        ASSETS,
+        ds.periods(),
+        live_bars,
+        per_regime - 1
+    );
+
+    // Phase 1: full-speed live run through the updater service.
+    let registry = Arc::new(ModelRegistry::new());
+    let stream_cfg = StreamConfig {
+        publish_every,
+        divergence_threshold: 2.1, // simplex L1 caps at 2.0: swaps always stick
+        ..StreamConfig::default()
+    };
+    let steps_per_bar = stream_cfg.steps_per_bar;
+    let pretrain =
+        TrainConfig { steps: if smoke { 10 } else { 50 }, batch: 8, ..TrainConfig::default() };
+    let t0 = Instant::now();
+    let svc = StreamService::start(
+        Arc::clone(&registry),
+        "probe",
+        Arc::clone(&ds),
+        fresh_net(42),
+        RewardConfig::default(),
+        pretrain,
+        stream_cfg.clone(),
+    );
+    while !svc.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let stats = svc.stop();
+    let duration_s = t0.elapsed().as_secs_f64();
+    assert_eq!(stats.bars, live_bars, "the updater must consume the whole feed");
+    assert!(stats.promoted >= 1, "at least one hot swap must land: {stats:?}");
+    assert_eq!(stats.rolled_back, 0, "threshold 2.1 can never trip");
+    assert_eq!(registry.live_version("probe"), Some(stats.live_version));
+    let live_run = LiveRunSample {
+        live_bars,
+        steps_per_bar,
+        publish_every,
+        duration_s,
+        bars_per_s: stats.bars as f64 / duration_s,
+        updates_per_s: (stats.bars * steps_per_bar as u64) as f64 / duration_s,
+        publishes: stats.publishes,
+        promoted: stats.promoted,
+        rolled_back: stats.rolled_back,
+        final_version: stats.live_version,
+    };
+    println!(
+        "live run: {:.2}s  {:.1} bars/s  {:.1} updates/s  {} publishes ({} promoted), final v{}",
+        live_run.duration_s,
+        live_run.bars_per_s,
+        live_run.updates_per_s,
+        live_run.publishes,
+        live_run.promoted,
+        live_run.final_version
+    );
+
+    // Phase 2: swap latency — the pointer swap itself, isolated.
+    let swap_samples = if smoke { 50 } else { 400 };
+    let mut swap_ms = Vec::with_capacity(swap_samples);
+    for s in 0..swap_samples {
+        let candidate = fresh_net(1_000 + s as u64);
+        let t = Instant::now();
+        registry.publish("probe", candidate);
+        swap_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    swap_ms.sort_by(|a, b| a.total_cmp(b));
+    let swap = SwapSample {
+        samples: swap_samples,
+        p50_ms: percentile(&swap_ms, 0.50),
+        p99_ms: percentile(&swap_ms, 0.99),
+        max_ms: swap_ms.last().copied().unwrap_or(f64::NAN),
+    };
+    println!(
+        "swap latency over {} publishes: p50 {:.4} ms  p99 {:.4} ms  max {:.4} ms",
+        swap.samples, swap.p50_ms, swap.p99_ms, swap.max_ms
+    );
+
+    // Phase 3: divergence-check overhead — the shadow comparison that gates
+    // every promotion.
+    let div_samples = if smoke { 30 } else { 200 };
+    let a = fresh_net(7);
+    let b = fresh_net(8_888);
+    let mut div_ms = Vec::with_capacity(div_samples);
+    let mut max_l1 = 0.0_f64;
+    for _ in 0..div_samples {
+        let t = Instant::now();
+        let report = shadow_divergence(&a, &b, &ds, ds.periods() - 1, stream_cfg.shadow_window);
+        div_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        max_l1 = max_l1.max(report.max_l1);
+    }
+    assert!(max_l1 > 0.0 && max_l1 <= 2.0 + 1e-12, "simplex L1 out of range: {max_l1}");
+    div_ms.sort_by(|a, b| a.total_cmp(b));
+    let divergence_check = DivergenceSample {
+        shadow_window: stream_cfg.shadow_window,
+        samples: div_samples,
+        mean_ms: div_ms.iter().sum::<f64>() / div_samples as f64,
+        p99_ms: percentile(&div_ms, 0.99),
+        max_l1,
+    };
+    println!(
+        "divergence check ({} bars): mean {:.4} ms  p99 {:.4} ms  observed max L1 {:.4}",
+        divergence_check.shadow_window,
+        divergence_check.mean_ms,
+        divergence_check.p99_ms,
+        divergence_check.max_l1
+    );
+
+    // Phase 4: publish → swap → rollback demo through the promotion gate.
+    let live_before = registry.resolve("probe").expect("probe is live");
+    let tight = StreamConfig { divergence_threshold: 1e-9, ..stream_cfg.clone() };
+    let promotion = promote(&registry, "probe", fresh_net(666), &ds, ds.periods() - 1, &tight);
+    let PromotionOutcome::RolledBack { restored } = promotion.outcome else {
+        panic!("divergent candidate must be rolled back, got {:?}", promotion.outcome);
+    };
+    assert_eq!(restored, live_before.version(), "rollback must restore the previous live version");
+    let live_after = registry.resolve("probe").expect("probe is still live");
+    assert!(
+        Arc::ptr_eq(live_before.net(), live_after.net()),
+        "rollback must restore the exact network"
+    );
+    let rollback_demo = RollbackSample {
+        candidate_version: promotion.candidate_version,
+        restored_version: restored,
+        max_l1: promotion.divergence.map(|d| d.max_l1).unwrap_or(f64::NAN),
+    };
+    println!(
+        "rollback demo: candidate v{} rejected (max L1 {:.4}), restored v{}",
+        rollback_demo.candidate_version, rollback_demo.max_l1, rollback_demo.restored_version
+    );
+
+    let report = BenchStream {
+        model: "PPN-LSTM".to_string(),
+        assets: ASSETS,
+        window: cfg.window,
+        split,
+        periods: ds.periods(),
+        live_run,
+        swap,
+        divergence_check,
+        rollback_demo,
+    };
+    std::fs::create_dir_all("results").ok();
+    let json = serde_json::to_vec_pretty(&report).expect("report serializes");
+    std::fs::write("results/BENCH_stream.json", json).expect("write BENCH_stream.json");
+    println!("wrote results/BENCH_stream.json");
+    let _ = run.finish();
+}

@@ -40,13 +40,30 @@ pub struct Rule {
 }
 
 /// Crates whose library code must be panic-free (rule `no-panic`).
-const PANIC_FREE_CRATES: [&str; 7] =
-    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-serve", "ppn-obs", "ppn-trace"];
+const PANIC_FREE_CRATES: [&str; 8] = [
+    "ppn-core",
+    "ppn-market",
+    "ppn-baselines",
+    "ppn-tensor",
+    "ppn-serve",
+    "ppn-stream",
+    "ppn-obs",
+    "ppn-trace",
+];
 /// Crates whose library code must avoid exact float equality (`float-eq`).
-const FLOAT_EQ_CRATES: [&str; 7] =
-    ["ppn-core", "ppn-market", "ppn-baselines", "ppn-tensor", "ppn-obs", "ppn-serve", "ppn-trace"];
+const FLOAT_EQ_CRATES: [&str; 8] = [
+    "ppn-core",
+    "ppn-market",
+    "ppn-baselines",
+    "ppn-tensor",
+    "ppn-obs",
+    "ppn-serve",
+    "ppn-stream",
+    "ppn-trace",
+];
 /// Crates whose public items must carry doc comments (`pub-doc`).
-const PUB_DOC_CRATES: [&str; 5] = ["ppn-core", "ppn-market", "ppn-serve", "ppn-obs", "ppn-trace"];
+const PUB_DOC_CRATES: [&str; 6] =
+    ["ppn-core", "ppn-market", "ppn-serve", "ppn-stream", "ppn-obs", "ppn-trace"];
 /// Crates whose root may soften `forbid(unsafe_code)` to `deny` because they
 /// contain an audited unsafe module (see [`UNSAFE_ALLOWED_FILES`]).
 const DENY_UNSAFE_CRATES: [&str; 1] = ["ppn-tensor"];
@@ -569,11 +586,18 @@ const THREAD_SPAWN_PATTERNS: [(&str, &str); 3] = [
 /// The only modules allowed to call thread-spawning constructs: the worker
 /// pool itself, the ppn-serve event-loop module (exactly two threads per
 /// server — the epoll loop and the batcher, never per-connection — work it
-/// *dispatches* still runs on the pool), and the one-thread ppn-obs stats
-/// endpoint. The serve HTTP/queue modules stay spawn-free by design; keep
-/// them off this list so a per-connection-thread regression is caught.
-const THREAD_ALLOWED_FILES: [&str; 3] =
-    ["crates/tensor/src/par.rs", "crates/serve/src/server.rs", "crates/obs/src/stats.rs"];
+/// *dispatches* still runs on the pool), the one-thread ppn-obs stats
+/// endpoint, and the ppn-stream updater service (one thread per
+/// `StreamService`, owning the feed/train/publish loop). The serve
+/// HTTP/queue modules and the stream divergence/promotion code stay
+/// spawn-free by design; keep them off this list so a stray-thread
+/// regression is caught.
+const THREAD_ALLOWED_FILES: [&str; 4] = [
+    "crates/tensor/src/par.rs",
+    "crates/serve/src/server.rs",
+    "crates/obs/src/stats.rs",
+    "crates/stream/src/service.rs",
+];
 
 fn check_no_thread(file: &SourceFile) -> Vec<Diagnostic> {
     if !file.crate_name.starts_with("ppn")
@@ -850,6 +874,8 @@ mod tests {
         assert!(check_no_thread(&srv).is_empty());
         let stats = SourceFile::scan("crates/obs/src/stats.rs", "ppn-obs", Role::Lib, src);
         assert!(check_no_thread(&stats).is_empty());
+        let stream = SourceFile::scan("crates/stream/src/service.rs", "ppn-stream", Role::Lib, src);
+        assert!(check_no_thread(&stream).is_empty());
         // Other ppn-serve modules stay under the rule — the event-driven
         // design means no per-connection threads, so a spawn appearing in
         // the HTTP state machine or the queue is a regression, not a need

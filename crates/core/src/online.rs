@@ -16,7 +16,7 @@
 use crate::config::{RewardConfig, TrainConfig};
 use crate::ppn::Variant;
 use crate::trainer::Trainer;
-use ppn_market::{Dataset, DecisionContext, SequentialPolicy, Weights};
+use ppn_market::{DatasetHandle, DecisionContext, SequentialPolicy, Weights};
 
 /// A policy that performs `steps_per_period` gradient updates between
 /// consecutive live decisions, on data up to (but excluding) the current
@@ -30,8 +30,12 @@ pub struct OnlineNetPolicy<'a> {
 
 impl<'a> OnlineNetPolicy<'a> {
     /// Pre-trains on the training split, then keeps adapting online.
+    ///
+    /// Accepts `&Dataset` for the classic borrowed flow or `Arc<Dataset>`
+    /// for an owned `OnlineNetPolicy<'static>` that can move across thread
+    /// boundaries (the `ppn-stream` updater owns its policy this way).
     pub fn new(
-        dataset: &'a Dataset,
+        dataset: impl Into<DatasetHandle<'a>>,
         variant: Variant,
         reward: RewardConfig,
         pretrain: TrainConfig,
@@ -42,10 +46,23 @@ impl<'a> OnlineNetPolicy<'a> {
         OnlineNetPolicy { trainer, steps_per_period, last_seen: 0 }
     }
 
+    /// Wraps an already-built (and typically pre-trained) trainer. Use with
+    /// [`Trainer::with_net`] when a custom `NetConfig` is needed — the
+    /// streaming updater uses small windows for sub-millisecond steps.
+    pub fn from_trainer(trainer: Trainer<'a>, steps_per_period: usize) -> Self {
+        OnlineNetPolicy { trainer, steps_per_period, last_seen: 0 }
+    }
+
     /// Access the underlying trainer (e.g. to extract the network after a
     /// backtest).
     pub fn trainer(&self) -> &Trainer<'a> {
         &self.trainer
+    }
+
+    /// Mutable access to the underlying trainer (checkpoint extraction and
+    /// horizon management in the streaming updater).
+    pub fn trainer_mut(&mut self) -> &mut Trainer<'a> {
+        &mut self.trainer
     }
 }
 
@@ -77,7 +94,24 @@ impl SequentialPolicy for OnlineNetPolicy<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppn_market::{run_backtest, Preset};
+    use ppn_market::{run_backtest, Dataset, Preset};
+
+    #[test]
+    fn arc_constructor_yields_static_policy() {
+        use std::sync::Arc;
+        let ds = Arc::new(Dataset::load(Preset::CryptoA));
+        let pretrain = TrainConfig { steps: 2, batch: 8, ..TrainConfig::default() };
+        let p: OnlineNetPolicy<'static> = OnlineNetPolicy::new(
+            Arc::clone(&ds),
+            Variant::PpnLstm,
+            RewardConfig::default(),
+            pretrain,
+            1,
+        );
+        // An owned policy must be movable across a thread boundary.
+        fn assert_send<T: Send + 'static>(_: &T) {}
+        assert_send(&p);
+    }
 
     #[test]
     fn online_policy_backtests_validly() {

@@ -260,6 +260,22 @@ impl PolicyNet {
         out
     }
 
+    /// Deep-copies the network: rebuilds the architecture and copies every
+    /// parameter tensor. Same rebuild idiom as [`PolicyNet::load`] — the
+    /// registration order of a `(variant, cfg)` pair is deterministic, so
+    /// pairwise copy is exact and the copy acts bit-identically. This is
+    /// how the streaming updater publishes immutable candidates while the
+    /// trainer keeps mutating its own parameters.
+    pub fn snapshot(&self) -> PolicyNet {
+        let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+        let mut net = PolicyNet::new(self.variant, self.cfg.clone(), &mut rng);
+        debug_assert_eq!(net.store.len(), self.store.len());
+        for (dst, src) in net.store.ids().zip(self.store.ids()).collect::<Vec<_>>() {
+            *net.store.value_mut(dst) = self.store.value(src).clone();
+        }
+        net
+    }
+
     /// Convenience single-sample evaluation (no dropout, no gradient):
     /// returns the `m+1` portfolio for one window. The simplex contract is
     /// enforced inside [`PolicyNet::act_batch`], which this delegates to.

@@ -14,7 +14,7 @@ use crate::batch::WindowBatch;
 use crate::config::{NetConfig, RewardConfig, TrainConfig};
 use crate::ppn::{PolicyNet, Variant};
 use crate::reward::cost_sensitive_reward;
-use ppn_market::{drifted_weights, Dataset};
+use ppn_market::{drifted_weights, DatasetHandle};
 use ppn_tensor::{clip_global_norm, Adam, Optimizer, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,8 +102,10 @@ impl TrainReport {
 
 /// Trains a [`PolicyNet`] on a dataset's training split.
 pub struct Trainer<'a> {
-    /// The dataset being learned.
-    pub dataset: &'a Dataset,
+    /// The dataset being learned — borrowed for offline training, or
+    /// `Arc`-shared so the trainer can own it across a stream thread
+    /// boundary (see [`ppn_market::DatasetHandle`]).
+    pub dataset: DatasetHandle<'a>,
     /// The network under training.
     pub net: PolicyNet,
     /// Reward configuration (λ, γ, ψ).
@@ -121,13 +123,15 @@ pub struct Trainer<'a> {
 }
 
 impl<'a> Trainer<'a> {
-    /// Builds a trainer with a freshly-initialised network.
+    /// Builds a trainer with a freshly-initialised network. Accepts either
+    /// `&Dataset` (offline) or `Arc<Dataset>` (owned, `'static`).
     pub fn new(
-        dataset: &'a Dataset,
+        dataset: impl Into<DatasetHandle<'a>>,
         variant: Variant,
         reward_cfg: RewardConfig,
         train_cfg: TrainConfig,
     ) -> Self {
+        let dataset = dataset.into();
         let mut rng = StdRng::seed_from_u64(train_cfg.seed);
         let cfg = NetConfig::paper(dataset.assets());
         let net = PolicyNet::new(variant, cfg, &mut rng);
@@ -136,16 +140,18 @@ impl<'a> Trainer<'a> {
 
     /// Builds a trainer around an existing network (custom `NetConfig`s).
     pub fn with_net(
-        dataset: &'a Dataset,
+        dataset: impl Into<DatasetHandle<'a>>,
         net: PolicyNet,
         reward_cfg: RewardConfig,
         train_cfg: TrainConfig,
     ) -> Self {
+        let dataset = dataset.into();
         let m1 = dataset.assets() + 1;
         let uniform = vec![1.0 / m1 as f64; m1];
         let pvm = vec![uniform; dataset.split];
         let opt = Adam::new(train_cfg.lr);
         let rng = StdRng::seed_from_u64(train_cfg.seed ^ 0x5EED);
+        let horizon = dataset.split;
         Trainer {
             dataset,
             net,
@@ -154,7 +160,7 @@ impl<'a> Trainer<'a> {
             pvm,
             opt,
             rng,
-            horizon: dataset.split,
+            horizon,
             tape: ppn_tensor::Graph::new(),
         }
     }
@@ -361,7 +367,7 @@ impl<'a> Trainer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppn_market::Preset;
+    use ppn_market::{Dataset, Preset};
 
     fn small_train_cfg(steps: usize) -> TrainConfig {
         TrainConfig { steps, batch: 8, lr: 1e-3, clip: 5.0, sample_bias: 0.0, seed: 1 }

@@ -270,6 +270,53 @@ impl Dataset {
     }
 }
 
+/// Owned-or-borrowed handle to a [`Dataset`].
+///
+/// Offline training borrows the caller's dataset (`Borrowed`) — the classic
+/// zero-copy path. Streaming components instead share ownership through an
+/// `Arc` (`Shared`), which erases the borrow so a trainer can cross thread
+/// and lifetime boundaries (the `ppn-stream` updater owns its trainer for
+/// the life of a background thread). `Deref` makes both cases read like a
+/// plain `&Dataset`, and `From` impls let APIs accept
+/// `impl Into<DatasetHandle<'_>>` so existing `&Dataset` call sites compile
+/// unchanged.
+#[derive(Debug, Clone)]
+pub enum DatasetHandle<'a> {
+    /// Borrows a caller-owned dataset (offline training).
+    Borrowed(&'a Dataset),
+    /// Shares ownership — usable as `DatasetHandle<'static>`.
+    Shared(std::sync::Arc<Dataset>),
+}
+
+impl std::ops::Deref for DatasetHandle<'_> {
+    type Target = Dataset;
+
+    fn deref(&self) -> &Dataset {
+        match self {
+            DatasetHandle::Borrowed(ds) => ds,
+            DatasetHandle::Shared(ds) => ds,
+        }
+    }
+}
+
+impl<'a> From<&'a Dataset> for DatasetHandle<'a> {
+    fn from(ds: &'a Dataset) -> Self {
+        DatasetHandle::Borrowed(ds)
+    }
+}
+
+impl From<std::sync::Arc<Dataset>> for DatasetHandle<'_> {
+    fn from(ds: std::sync::Arc<Dataset>) -> Self {
+        DatasetHandle::Shared(ds)
+    }
+}
+
+impl From<&std::sync::Arc<Dataset>> for DatasetHandle<'_> {
+    fn from(ds: &std::sync::Arc<Dataset>) -> Self {
+        DatasetHandle::Shared(std::sync::Arc::clone(ds))
+    }
+}
+
 /// Blanks the early history of a random subset of assets and fills it with
 /// the paper's "flat fake price-movements" rule: constant price equal to the
 /// first observed close (so relatives are exactly 1 until listing).

@@ -1,0 +1,187 @@
+//! Live-feed simulation for the streaming online-adaptation pipeline.
+//!
+//! Two pieces:
+//!
+//! * [`stitched_dataset`] builds one continuous [`Dataset`] from a sequence
+//!   of [`MarketConfig`] *regime segments*. Each segment's close paths are
+//!   generated independently and then spliced price-continuously (segment
+//!   `n+1` is rescaled per asset so its first close equals segment `n`'s
+//!   last close), so the price-relative stream is well defined across every
+//!   seam and a seam *is* a regime shift — drift, volatility, momentum and
+//!   reversion all flip at a known bar index.
+//! * [`LiveFeed`] is a replay cursor over a shared dataset: it reveals bars
+//!   one at a time, which is how the `ppn-stream` updater consumes "new"
+//!   market periods without a real exchange connection. Determinism is
+//!   inherited from the generator — the same segment configs always produce
+//!   the same feed.
+
+use crate::dataset::{Dataset, Preset};
+use crate::gbm::{generate_paths, ClosePaths, MarketConfig};
+use crate::ohlc::synthesize_ohlc;
+use crate::relatives::price_relatives;
+use std::sync::Arc;
+
+/// One bar revealed by a [`LiveFeed`].
+#[derive(Debug, Clone)]
+pub struct BarEvent {
+    /// Period index of the newly-revealed bar. The decision for period `t`
+    /// may use windows ending at `t` and relatives up to `t − 1`.
+    pub t: usize,
+    /// Price-relative vector realised between `t − 1` and `t`
+    /// (length `m + 1`, cash first) — what a live exchange feed would
+    /// deliver alongside the new bar.
+    pub relative: Vec<f64>,
+}
+
+/// Builds a price-continuous dataset from consecutive regime segments.
+///
+/// Every segment must use the same asset count; the stitched dataset has
+/// `sum(periods) − (segments − 1)` periods (each later segment's first bar
+/// coincides with its predecessor's last). `split` marks where the "live"
+/// part of the feed begins — everything before it is pretraining history.
+/// No late-listing simulation is applied: a live feed has no missing bars.
+///
+/// # Panics
+/// Panics when `segments` is empty, asset counts disagree, or `split` is
+/// not inside the stitched period range.
+pub fn stitched_dataset(preset: Preset, segments: &[MarketConfig], split: usize) -> Dataset {
+    assert!(!segments.is_empty(), "stitched_dataset needs at least one segment");
+    let assets = segments[0].assets;
+    assert!(
+        segments.iter().all(|s| s.assets == assets),
+        "all regime segments must share one asset universe"
+    );
+
+    let mut prices: Vec<f64> = Vec::new();
+    let mut periods = 0usize;
+    for (n, seg) in segments.iter().enumerate() {
+        let paths = generate_paths(seg);
+        if n == 0 {
+            prices.extend_from_slice(&paths.prices);
+            periods = paths.periods;
+            continue;
+        }
+        // Rescale so the segment's first close lands exactly on the current
+        // last close of every asset, then skip that coinciding bar.
+        let last: Vec<f64> = (0..assets).map(|i| prices[(periods - 1) * assets + i]).collect();
+        for t in 1..paths.periods {
+            for (i, anchor) in last.iter().enumerate() {
+                prices.push(paths.at(t, i) / paths.at(0, i) * anchor);
+            }
+        }
+        periods += paths.periods - 1;
+    }
+
+    let paths = ClosePaths { assets, prices, periods };
+    assert!(split + 1 < periods, "split {split} outside stitched range {periods}");
+    let ohlc = synthesize_ohlc(&paths, segments[0].seed);
+    let relatives = price_relatives(&ohlc);
+    Dataset { preset, ohlc, relatives, split }
+}
+
+/// A replay cursor that reveals a dataset's bars one at a time, simulating
+/// a live market feed for the streaming updater.
+#[derive(Debug, Clone)]
+pub struct LiveFeed {
+    dataset: Arc<Dataset>,
+    next_t: usize,
+}
+
+impl LiveFeed {
+    /// Creates a feed positioned at `start` (typically `dataset.split`):
+    /// bars before `start` are history the consumer already has.
+    pub fn new(dataset: Arc<Dataset>, start: usize) -> LiveFeed {
+        LiveFeed { dataset, next_t: start.max(1) }
+    }
+
+    /// The dataset this feed replays.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Period index of the next bar to be revealed.
+    pub fn position(&self) -> usize {
+        self.next_t
+    }
+
+    /// Bars left before the feed is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.dataset.periods().saturating_sub(self.next_t)
+    }
+
+    /// Reveals the next bar, or `None` once the dataset is exhausted.
+    pub fn next_bar(&mut self) -> Option<BarEvent> {
+        if self.next_t >= self.dataset.periods() {
+            return None;
+        }
+        let t = self.next_t;
+        self.next_t += 1;
+        Some(BarEvent { t, relative: self.dataset.relative(t - 1).to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(periods: usize, seed: u64, drift: f64, momentum: f64) -> MarketConfig {
+        MarketConfig { assets: 4, periods, seed, drift, momentum, ..MarketConfig::default() }
+    }
+
+    #[test]
+    fn stitched_prices_are_continuous_at_the_seam() {
+        let a = seg(100, 11, 8e-4, 0.3);
+        let b = seg(60, 22, -8e-4, -0.2);
+        let ds = stitched_dataset(Preset::CryptoA, &[a.clone(), b.clone()], 80);
+        assert_eq!(ds.periods(), 100 + 60 - 1);
+        // Every relative across the seam must be finite and positive; the
+        // seam bar itself equals segment A's last close, so the relative at
+        // t = 99 reflects segment B's own first move, not a rescaling jump.
+        for t in 0..ds.periods() - 1 {
+            for &x in ds.relative(t) {
+                assert!(x.is_finite() && x > 0.0, "bad relative {x} at {t}");
+            }
+        }
+        // Deterministic in the segment configs.
+        let ds2 = stitched_dataset(Preset::CryptoA, &[a, b], 80);
+        assert_eq!(ds.ohlc.close(120, 2), ds2.ohlc.close(120, 2));
+    }
+
+    #[test]
+    fn regimes_actually_differ_across_the_seam() {
+        // A strong up-drift then a strong down-drift must show up in the
+        // realised mean relatives on either side of the seam.
+        let a = seg(400, 11, 2e-3, 0.3);
+        let b = seg(400, 22, -2e-3, 0.3);
+        let ds = stitched_dataset(Preset::CryptoA, &[a, b], 300);
+        let mean = |lo: usize, hi: usize| -> f64 {
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for t in lo..hi {
+                for &x in &ds.relative(t)[1..] {
+                    s += x;
+                    n += 1;
+                }
+            }
+            s / n as f64
+        };
+        let pre = mean(0, 399);
+        let post = mean(400, ds.periods() - 1);
+        assert!(pre > post, "regime shift invisible: pre {pre} post {post}");
+    }
+
+    #[test]
+    fn live_feed_replays_bars_in_order() {
+        let ds = Arc::new(stitched_dataset(Preset::CryptoA, &[seg(50, 3, 1e-4, 0.1)], 40));
+        let mut feed = LiveFeed::new(Arc::clone(&ds), ds.split);
+        assert_eq!(feed.remaining(), 10);
+        let mut seen = Vec::new();
+        while let Some(bar) = feed.next_bar() {
+            assert_eq!(bar.relative, ds.relative(bar.t - 1));
+            seen.push(bar.t);
+        }
+        assert_eq!(seen, (40..50).collect::<Vec<_>>());
+        assert!(feed.next_bar().is_none());
+        assert_eq!(feed.remaining(), 0);
+    }
+}

@@ -41,6 +41,8 @@ pub mod cost;
 pub mod dataset;
 /// The trading MDP environment of §3.1.
 pub mod env;
+/// Live-feed simulation: regime-stitched datasets and replay cursors.
+pub mod feed;
 /// Geometric-Brownian-motion close-price path generator.
 pub mod gbm;
 /// Evaluation metrics of §6.1.2 (APV, SR, CR, MDD, STD, TO).
@@ -57,8 +59,9 @@ pub use backtest::{
     SequentialPolicy, Weights,
 };
 pub use cost::{cost_proportion, max_turnover, prop4_bounds, turnover_l1, CostSolution};
-pub use dataset::{stats, Dataset, DatasetStats, Preset};
+pub use dataset::{stats, Dataset, DatasetHandle, DatasetStats, Preset};
 pub use env::{Observation, StepOutcome, TradingEnv};
+pub use feed::{stitched_dataset, BarEvent, LiveFeed};
 pub use gbm::{generate_paths, ClosePaths, MarketConfig};
 pub use metrics::{compute as compute_metrics, max_drawdown, mean_std, Metrics};
 pub use ohlc::{synthesize_ohlc, Bar, OhlcSeries};

@@ -179,6 +179,26 @@ impl TraceContext {
         let dur = end.saturating_duration_since(start);
         emit_span_event(self.trace_id, next_id(), self.span_id, name, start, dur.as_nanos() as u64);
     }
+
+    /// Attaches a key/value annotation to this context's span, emitted as a
+    /// `trace.annotation` event — how facts that are data rather than
+    /// timing (e.g. the model version that served a `/decide`) get stamped
+    /// onto the span tree. No-op when unsampled.
+    pub fn annotate(&self, key: &'static str, value: u64) {
+        if !self.is_sampled() || !crate::enabled(Level::Trace) {
+            return;
+        }
+        crate::emit_event(
+            Level::Trace,
+            "trace.annotation",
+            &[
+                ("trace", FieldValue::Str(format!("{:016x}", self.trace_id))),
+                ("span", FieldValue::Str(format!("{:016x}", self.span_id))),
+                ("key", FieldValue::Str(key.to_string())),
+                ("value", FieldValue::U64(value)),
+            ],
+        );
+    }
 }
 
 /// RAII guard for one traced operation; emits its `trace.span` event on
@@ -300,8 +320,10 @@ mod tests {
         assert!(ctx.trace_id_hex().is_none());
         let child = ctx.child("x");
         assert!(!child.is_sampled());
-        // emit_span on an inert context is a no-op (must not panic or emit).
+        // emit_span/annotate on an inert context are no-ops (must not
+        // panic or emit).
         ctx.emit_span("y", Instant::now(), Instant::now());
+        ctx.annotate("model_version", 7);
     }
 
     #[test]

@@ -46,16 +46,22 @@ pub fn process_batch(registry: &ModelRegistry, mut jobs: Vec<QueuedRequest>) {
     let batch_hist = crate::metrics::batch_size();
     let errors = crate::metrics::errors();
     for (model, group) in groups {
-        let Some(net) = registry.get(&model) else {
+        // One version-stamped pin per group, held across the whole forward
+        // pass: a concurrent publish/rollback swaps the live pointer for
+        // *later* batches, but every row of this batch is decided by one
+        // complete network (epoch-style snapshot isolation).
+        let Some(pinned) = registry.resolve(&model) else {
             for job in group {
                 errors.inc();
                 job.reply.send(Err(ServeError::UnknownModel(model.clone())));
             }
             continue;
         };
+        let net = pinned.net();
+        let model_version = pinned.version();
         let mut valid = Vec::new();
         for job in group {
-            match validate_request(&net, &job.request) {
+            match validate_request(net, &job.request) {
                 Ok(()) => valid.push(job),
                 Err(e) => {
                     errors.inc();
@@ -82,7 +88,12 @@ pub fn process_batch(registry: &ModelRegistry, mut jobs: Vec<QueuedRequest>) {
             job.trace.emit_span("serve.forward", assembled_at, forwarded_at);
         }
         for (job, weights) in valid.into_iter().zip(outputs) {
-            job.reply.send(Ok(DecideResponse { model: model.clone(), weights, batch_size }));
+            job.reply.send(Ok(DecideResponse {
+                model: model.clone(),
+                model_version,
+                weights,
+                batch_size,
+            }));
         }
     }
 }

@@ -332,19 +332,34 @@ impl Conn {
             if let Some(outcome) = w.rx.try_take() {
                 let _respond = w.root.context().child("serve.respond");
                 metrics::latency_ms().observe(ms_between(w.started, now));
-                let (status, body) = match outcome {
-                    Ok(resp) => match serde_json::to_string(&resp) {
-                        Ok(body) => (200, body),
-                        Err(e) => {
-                            metrics::errors().inc();
-                            (500, error_json(&format!("response serialization failed: {e}")))
+                let (status, body, model_version) = match outcome {
+                    Ok(resp) => {
+                        let version = resp.model_version;
+                        match serde_json::to_string(&resp) {
+                            Ok(body) => (200, body, Some(version)),
+                            Err(e) => {
+                                metrics::errors().inc();
+                                (
+                                    500,
+                                    error_json(&format!("response serialization failed: {e}")),
+                                    None,
+                                )
+                            }
                         }
-                    },
+                    }
                     // Routing/validation errors were counted by the batcher.
-                    Err(e) => (e.status(), error_json(&e.message())),
+                    Err(e) => (e.status(), error_json(&e.message()), None),
                 };
+                // Stamp the deciding model version into the response header
+                // and the request's trace, so swaps are attributable from
+                // either the wire or the flamegraph.
+                let version_header = model_version.map(|v| format!("X-PPN-Model-Version: {v}"));
+                if let Some(v) = model_version {
+                    w.root.context().annotate("model_version", v);
+                }
+                let extra: Vec<&str> = version_header.as_deref().into_iter().collect();
                 let keep_alive = w.keep_alive;
-                let bytes = format_response(status, "application/json", &[], &body, keep_alive);
+                let bytes = format_response(status, "application/json", &extra, &body, keep_alive);
                 *slot = Slot::Ready { bytes, keep_alive };
             } else if now >= w.deadline {
                 metrics::errors().inc();

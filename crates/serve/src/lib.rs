@@ -38,10 +38,16 @@
 //! throughput optimisation, never a numerics change (`serve_probe` asserts
 //! this end to end).
 //!
-//! Models come from [`ppn_core::persist`] checkpoints via the
-//! [`registry::ModelRegistry`]; telemetry (request counter, queue-depth
-//! gauges, `serve.shed` / `serve.cancelled` counters, `serve.latency_ms` /
-//! `serve.batch_size` histograms) flows through `ppn-obs`. The HTTP layer
+//! Models come from [`ppn_core::persist`] checkpoints or live publication
+//! via the [`registry::ModelRegistry`] — a concurrent *versioned* store:
+//! `publish` hot-swaps the live pointer (epoch-style, so in-flight decides
+//! keep their [`registry::PinnedModel`] pin and never observe a torn
+//! model), `rollback` re-points at a retained older version, and every
+//! `/decide` response carries the deciding version in its body and an
+//! `X-PPN-Model-Version` header. Telemetry (request counter, queue-depth
+//! gauges, `serve.shed` / `serve.cancelled` / `serve.model_swaps` counters,
+//! `serve.latency_ms` / `serve.batch_size` histograms) flows through
+//! `ppn-obs`. The HTTP layer
 //! speaks minimal HTTP/1.1 over non-blocking `std::net` sockets driven by
 //! an epoll readiness loop — the workspace is offline, so no external
 //! server stack is used (readiness comes from the vendored `mio` shim).
@@ -59,6 +65,8 @@
 //! |---|---|---|---|
 //! | `/decide` | POST | [`DecideRequest`] JSON | [`DecideResponse`] JSON |
 //! | `/health` | GET | — | `{"status":"ok","models":[…]}` |
+//! | `/models` | GET | — | [`registry::ModelStatus`] list JSON |
+//! | `/rollback` | POST | [`RollbackRequest`] JSON | `{"model":…,"live_version":…}` |
 //! | `/metrics` | GET | — | Prometheus text exposition (v0.0.4) |
 //! | `/metrics.json` | GET | — | `ppn_obs::MetricsSnapshot` JSON |
 
@@ -68,12 +76,14 @@ pub mod batcher;
 pub mod http;
 /// Bounded decision queue and one-shot reply slots.
 pub mod queue;
-/// Checkpoint-backed collection of live models.
+/// Versioned concurrent model store with hot-swap and rollback.
 pub mod registry;
 /// The epoll event loop, batcher thread, and graceful shutdown.
 pub mod server;
 
-pub use registry::ModelRegistry;
+pub use registry::{
+    ModelRegistry, ModelStatus, ModelVersion, PinnedModel, RegistryError, VersionInfo,
+};
 pub use server::{ServeConfig, Server};
 
 use ppn_core::ppn::PolicyNet;
@@ -94,10 +104,23 @@ pub struct DecideRequest {
 pub struct DecideResponse {
     /// The model that produced the decision.
     pub model: String,
+    /// Registry version of the model that produced the decision (also
+    /// echoed in the `X-PPN-Model-Version` response header).
+    pub model_version: ModelVersion,
     /// Portfolio weights on the `assets + 1` simplex, cash at index 0.
     pub weights: Vec<f64>,
     /// Size of the forward-pass batch this request was coalesced into.
     pub batch_size: usize,
+}
+
+/// Body of a `POST /rollback` admin request: re-point a model's live
+/// pointer at a retained older version.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RollbackRequest {
+    /// Registry name of the model to roll back.
+    pub model: String,
+    /// The retained version to restore.
+    pub version: ModelVersion,
 }
 
 /// Why a decision request was refused.
@@ -209,6 +232,12 @@ pub mod metrics {
     /// compute saved.
     pub fn cancelled() -> ppn_obs::metrics::Counter {
         ppn_obs::counter("serve.cancelled")
+    }
+
+    /// Live-pointer changes in the model registry: overwrite publishes and
+    /// rollbacks (a name's initial publication does not count).
+    pub fn model_swaps() -> ppn_obs::metrics::Counter {
+        ppn_obs::counter("serve.model_swaps")
     }
 
     /// Currently open client connections (level gauge).

@@ -60,7 +60,7 @@ fn main() {
         cfg.addr = "127.0.0.1:7878".to_string();
     }
 
-    let mut registry = ModelRegistry::new();
+    let registry = std::sync::Arc::new(ModelRegistry::new());
     for (name, path) in models {
         if let Err(e) = registry.load_checkpoint(&name, &path) {
             eprintln!("failed to load model '{name}' from {path}: {e}");
@@ -71,7 +71,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(0);
         let net = PolicyNet::new(Variant::PpnLstm, NetConfig::paper(4), &mut rng);
         ppn_obs::obs_info!("serve: no --model given, registering untrained demo net (4 assets)");
-        registry.insert("demo", net);
+        registry.publish("demo", net);
     }
 
     let server = match Server::start(registry, cfg) {

@@ -19,7 +19,7 @@ use crate::batcher::process_batch;
 use crate::http::{format_response, Conn, HttpRequest};
 use crate::queue::{reply_pair, QueuedRequest, RequestQueue};
 use crate::registry::ModelRegistry;
-use crate::{error_json, metrics, DecideRequest};
+use crate::{error_json, metrics, DecideRequest, RollbackRequest};
 use mio::{Events, Interest, Poll, Token, Waker};
 use ppn_obs::{clock, TraceSpan};
 use serde::Serialize;
@@ -127,17 +127,22 @@ pub struct Server {
 impl Server {
     /// Binds `cfg.addr`, spawns the event loop and the batcher thread, and
     /// returns immediately.
-    pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> io::Result<Server> {
+    ///
+    /// The registry is taken as a shared `Arc` so callers (the stream
+    /// updater, tests, admin tooling) can keep publishing and rolling back
+    /// models on the same instance the server decides with — hot-swaps
+    /// need no restart.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let registry = Arc::new(registry);
         // Touch every instrument up front so /metrics and shutdown
         // snapshots expose them even before the first request.
         metrics::requests();
         metrics::errors();
         metrics::shed();
         metrics::cancelled();
+        metrics::model_swaps();
         metrics::latency_ms();
         metrics::batch_size();
         metrics::queue_depth_peak();
@@ -503,6 +508,32 @@ fn route_request(
             s.end_obj();
             respond_ok(conn, "application/json", &s.finish(), keep, now);
         }
+        ("GET", "/models") => match serde_json::to_string(&registry.status()) {
+            Ok(body) => respond_ok(conn, "application/json", &body, keep, now),
+            Err(e) => respond_error(conn, 500, &format!("status failed: {e}"), &[], keep, now),
+        },
+        ("POST", "/rollback") => {
+            let parsed: RollbackRequest = match serde_json::from_slice(&req.body) {
+                Ok(p) => p,
+                Err(e) => {
+                    respond_error(conn, 400, &format!("bad request body: {e}"), &[], keep, now);
+                    return;
+                }
+            };
+            match registry.rollback(&parsed.model, parsed.version) {
+                Ok(()) => {
+                    let mut s = serde::Ser::new();
+                    s.begin_obj();
+                    s.key("model");
+                    s.write_str(&parsed.model);
+                    s.key("live_version");
+                    parsed.version.serialize(&mut s);
+                    s.end_obj();
+                    respond_ok(conn, "application/json", &s.finish(), keep, now);
+                }
+                Err(e) => respond_error(conn, 404, &e.to_string(), &[], keep, now),
+            }
+        }
         ("GET", "/metrics") => {
             let body = ppn_obs::metrics_snapshot().to_prometheus();
             respond_ok(conn, ppn_obs::prom::CONTENT_TYPE, &body, keep, now);
@@ -511,7 +542,7 @@ fn route_request(
             Ok(body) => respond_ok(conn, "application/json", &body, keep, now),
             Err(e) => respond_error(conn, 500, &format!("snapshot failed: {e}"), &[], keep, now),
         },
-        (m, "/decide" | "/health" | "/metrics" | "/metrics.json") => {
+        (m, "/decide" | "/health" | "/models" | "/rollback" | "/metrics" | "/metrics.json") => {
             respond_error(
                 conn,
                 405,

@@ -19,6 +19,7 @@ use rand::SeedableRng;
 use serde::Value;
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn small_cfg(assets: usize) -> NetConfig {
@@ -40,6 +41,16 @@ fn start_server_with(
     n_expected: u64,
     serve_cfg: ServeConfig,
 ) -> (Server, Vec<Vec<f64>>, NetConfig) {
+    let (server, expected, cfg, _registry) = start_server_with_registry(n_expected, serve_cfg);
+    (server, expected, cfg)
+}
+
+/// As [`start_server_with`], but also hands back the shared registry so a
+/// test can publish/rollback into the running server.
+fn start_server_with_registry(
+    n_expected: u64,
+    serve_cfg: ServeConfig,
+) -> (Server, Vec<Vec<f64>>, NetConfig, Arc<ModelRegistry>) {
     let cfg = small_cfg(3);
     let mut rng = StdRng::seed_from_u64(42);
     let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
@@ -49,10 +60,10 @@ fn start_server_with(
             net.act(&w, &p)
         })
         .collect();
-    let mut registry = ModelRegistry::new();
-    registry.insert("model", net);
-    let server = Server::start(registry, serve_cfg).unwrap();
-    (server, expected, cfg)
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("model", net);
+    let server = Server::start(Arc::clone(&registry), serve_cfg).unwrap();
+    (server, expected, cfg, registry)
 }
 
 fn start_server(n_expected: u64) -> (Server, Vec<Vec<f64>>, NetConfig) {
@@ -345,8 +356,8 @@ fn process_batch_coalesces_jobs_into_one_forward_pass() {
     let cfg = small_cfg(3);
     let mut rng = StdRng::seed_from_u64(7);
     let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
-    let mut registry = ModelRegistry::new();
-    registry.insert("m", net);
+    let registry = ModelRegistry::new();
+    registry.publish("m", net);
 
     let queue = RequestQueue::new(64);
     let n = 5;
@@ -376,12 +387,133 @@ fn process_batch_coalesces_jobs_into_one_forward_pass() {
 }
 
 #[test]
+fn models_endpoint_version_stamping_and_rollback() {
+    let (server, expected, cfg, registry) = start_server_with_registry(1, ServeConfig::default());
+    let addr = server.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let want_v1: Vec<u64> = expected[0].iter().map(|w| w.to_bits()).collect();
+
+    // v1 serves, stamped in both the body and the response header.
+    let resp = client.request("POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.headers.contains("X-PPN-Model-Version: 1"), "{}", resp.headers);
+    let parsed: DecideResponse = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(parsed.model_version, 1);
+
+    // GET /models reports name, live version, swap count, and history.
+    let resp = client.request("GET", "/models", "").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = Value::parse(&resp.body).unwrap();
+    let Value::Arr(models) = &v else { panic!("expected array: {}", resp.body) };
+    assert_eq!(models.len(), 1);
+    match models[0].field("name").unwrap() {
+        Value::Str(s) => assert_eq!(s, "model"),
+        other => panic!("unexpected name {other:?}"),
+    }
+    assert_eq!(models[0].field("live_version").unwrap(), &Value::Num(1.0));
+    assert!(resp.body.contains("last_swap_unix_ms"), "{}", resp.body);
+    assert!(resp.body.contains("history"), "{}", resp.body);
+
+    // Hot-swap a different net into the *running* server: decides flip to
+    // v2 with no restart, and the swap is metered.
+    let swaps_before = ppn_serve::metrics::model_swaps().get();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let v2 = registry.publish("model", PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng));
+    assert_eq!(v2, 2);
+    assert!(ppn_serve::metrics::model_swaps().get() > swaps_before);
+    let resp = client.request("POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.headers.contains("X-PPN-Model-Version: 2"), "{}", resp.headers);
+    let parsed: DecideResponse = serde_json::from_str(&resp.body).unwrap();
+    let got_v2: Vec<u64> = parsed.weights.iter().map(|w| w.to_bits()).collect();
+    assert_ne!(got_v2, want_v1, "a differently-seeded net must decide differently");
+
+    // POST /rollback restores v1; decides are bit-identical to before.
+    let resp = client.request("POST", "/rollback", r#"{"model":"model","version":1}"#).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"live_version\":1"), "{}", resp.body);
+    let resp = client.request("POST", "/decide", &decide_body(&cfg, 0)).unwrap();
+    assert!(resp.headers.contains("X-PPN-Model-Version: 1"), "{}", resp.headers);
+    let parsed: DecideResponse = serde_json::from_str(&resp.body).unwrap();
+    let got: Vec<u64> = parsed.weights.iter().map(|w| w.to_bits()).collect();
+    assert_eq!(got, want_v1, "rollback must restore the exact v1 network");
+
+    // Unknown versions 404; wrong methods 405.
+    let resp = client.request("POST", "/rollback", r#"{"model":"model","version":99}"#).unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    let (status, _) = http_request(addr, "POST", "/models", "{}").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = http_request(addr, "GET", "/rollback", "").unwrap();
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_mid_soak_zero_failures_and_pinned_bit_identity() {
+    // Satellite 4: concurrent /decide soak across live hot-swaps. Every
+    // response must succeed, and every row must be bit-identical to the
+    // *pinned* version's direct act_batch — proof nobody observed a torn
+    // or half-swapped model.
+    let (server, _expected, cfg, registry) = start_server_with_registry(0, ServeConfig::default());
+    let addr = server.addr();
+    let body = decide_body(&cfg, 0);
+    let (window, prev) = probe_inputs(&cfg, 0);
+    let soakers = 4;
+    let rounds = 25;
+    let results = ppn_tensor::par::with_threads(soakers + 1, || {
+        ppn_tensor::par::par_map(soakers + 1, |w| {
+            if w == 0 {
+                // The swapper: publish fresh nets while decides are in flight.
+                for s in 0..4u64 {
+                    std::thread::sleep(Duration::from_millis(4));
+                    let mut rng = StdRng::seed_from_u64(100 + s);
+                    let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
+                    registry.publish("model", net);
+                }
+                return Vec::new();
+            }
+            let mut client = HttpClient::connect(addr).unwrap();
+            (0..rounds)
+                .map(|_| {
+                    let resp = client.request("POST", "/decide", &body).unwrap();
+                    (resp.status, resp.body, resp.headers)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let mut versions = std::collections::BTreeSet::new();
+    for outcomes in &results {
+        for (status, body, headers) in outcomes {
+            assert_eq!(*status, 200, "no decide may fail across a swap: {body}");
+            let parsed: DecideResponse = serde_json::from_str(body).unwrap();
+            assert!(
+                headers.contains(&format!("X-PPN-Model-Version: {}", parsed.model_version)),
+                "header/body version mismatch: {headers}"
+            );
+            let pinned = registry
+                .resolve_version("model", parsed.model_version)
+                .expect("every served version must still be retained");
+            let direct =
+                pinned.net().act_batch(std::slice::from_ref(&window), std::slice::from_ref(&prev));
+            let got: Vec<u64> = parsed.weights.iter().map(|w| w.to_bits()).collect();
+            let want: Vec<u64> = direct[0].iter().map(|w| w.to_bits()).collect();
+            assert_eq!(got, want, "row not bit-identical to pinned v{}", parsed.model_version);
+            versions.insert(parsed.model_version);
+        }
+    }
+    assert_eq!(registry.live_version("model"), Some(5), "4 swaps on top of v1");
+    assert!(!versions.is_empty());
+    server.shutdown();
+}
+
+#[test]
 fn batcher_skips_jobs_whose_client_disconnected() {
     let cfg = small_cfg(3);
     let mut rng = StdRng::seed_from_u64(9);
     let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
-    let mut registry = ModelRegistry::new();
-    registry.insert("m", net);
+    let registry = ModelRegistry::new();
+    registry.publish("m", net);
 
     let cancelled_before = ppn_serve::metrics::cancelled().get();
     let mut jobs = Vec::new();

@@ -29,8 +29,8 @@ fn traced_serve_run_renders_flamegraph_breakdown_and_waterfall() {
         NetConfig { window: 8, lstm_hidden: 4, tccb_channels: [3, 4, 4], ..NetConfig::paper(3) };
     let mut rng = StdRng::seed_from_u64(11);
     let net = PolicyNet::new(Variant::PpnLstm, cfg.clone(), &mut rng);
-    let mut registry = ModelRegistry::new();
-    registry.insert("model", net);
+    let registry = std::sync::Arc::new(ModelRegistry::new());
+    registry.publish("model", net);
     let server = Server::start(registry, ServeConfig::default()).unwrap();
     let addr = server.addr();
 

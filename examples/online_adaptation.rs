@@ -9,9 +9,10 @@
 use ppn_repro::core::prelude::*;
 use ppn_repro::core::PolicyNet;
 use ppn_repro::market::{run_backtest, Dataset, Preset};
+use std::sync::Arc;
 
 fn main() {
-    let ds = Dataset::load(Preset::CryptoA);
+    let ds = Arc::new(Dataset::load(Preset::CryptoA));
     let range = ds.split..ds.split + 200;
     let reward = RewardConfig::default();
     let pretrain = TrainConfig { steps: 100, batch: 12, ..TrainConfig::default() };
@@ -30,9 +31,13 @@ fn main() {
     assert_eq!(r_frozen.metrics.apv, r_reload.metrics.apv);
     println!("checkpoint round-trip OK ({})\n", path.display());
 
-    // Online policy: 2 extra gradient steps per live period.
+    // Online policy: 2 extra gradient steps per live period. Built from the
+    // shared `Arc` handle — the resulting `OnlineNetPolicy<'static>` owns
+    // its dataset, the same construction the `ppn-stream` updater uses to
+    // move a policy onto its feed thread.
     println!("Running the online-adapting policy (2 steps/period) ...");
-    let mut online = OnlineNetPolicy::new(&ds, Variant::PpnLstm, reward, pretrain, 2);
+    let mut online: OnlineNetPolicy<'static> =
+        OnlineNetPolicy::new(Arc::clone(&ds), Variant::PpnLstm, reward, pretrain, 2);
     let r_online = run_backtest(&ds, &mut online, 0.0025, range);
 
     println!("\nover {} test periods:", r_frozen.records.len());
